@@ -1,0 +1,124 @@
+//! Microbenchmarks for the simulator's hot data structures.
+//!
+//! These guard the performance of the building blocks the experiment
+//! harness leans on: tag-array probes, history-table churn, event-queue
+//! throughput, ring reservations, and synthetic trace generation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use cmpsim_cache::{
+    CacheGeometry, HistoryTable, InsertPosition, LineAddr, ReplacementPolicy, TagArray,
+};
+use cmpsim_coherence::{AgentId, L2Id};
+use cmpsim_engine::{EventQueue, SplitMix64};
+use cmpsim_ring::{Ring, RingConfig, RingTopology};
+use cmpsim_trace::{CacheScale, SyntheticWorkload, ThreadId, Workload};
+
+fn bench_tag_array(c: &mut Criterion) {
+    let geom = CacheGeometry::new(512 * 1024, 8, 128).unwrap();
+    let mut g = c.benchmark_group("tag_array");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("probe_hit", |b| {
+        let mut tags: TagArray<u8> = TagArray::new(geom, ReplacementPolicy::Lru);
+        for i in 0..geom.num_lines() {
+            tags.insert(LineAddr::new(i), 0, InsertPosition::Mru);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 17) % geom.num_lines();
+            black_box(tags.probe(LineAddr::new(i)))
+        });
+    });
+    g.bench_function("insert_evict", |b| {
+        let mut tags: TagArray<u8> = TagArray::new(geom, ReplacementPolicy::Lru);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(tags.insert(LineAddr::new(i), 0, InsertPosition::Mru))
+        });
+    });
+    g.finish();
+}
+
+fn bench_history_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wbht");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("record_lookup_churn", |b| {
+        let mut t: HistoryTable<()> = HistoryTable::new(32 * 1024, 16).unwrap();
+        let mut rng = SplitMix64::new(1);
+        b.iter(|| {
+            let line = LineAddr::new(rng.gen_range(256 * 1024));
+            if rng.gen_bool(0.5) {
+                t.record(line, ());
+            } else {
+                black_box(t.lookup(line));
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("event_queue_push_pop", |b| {
+        let mut q: EventQueue<u64> = EventQueue::with_capacity(1024);
+        let mut rng = SplitMix64::new(2);
+        let mut now = 0;
+        // Keep a standing population of ~512 events.
+        for _ in 0..512 {
+            q.push(now + rng.gen_range(1000), 0);
+        }
+        b.iter(|| {
+            let (t, v) = q.pop().unwrap();
+            now = t;
+            q.push(now + 1 + rng.gen_range(1000), v + 1);
+            black_box(t)
+        });
+    });
+    g.finish();
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("address_issue_and_transfer", |b| {
+        let mut ring = Ring::new(RingTopology::standard_cmp(4, 2), RingConfig::default());
+        let src = AgentId::L2(L2Id::new(0));
+        let mut now = 0;
+        b.iter(|| {
+            let t = ring.issue_address(now, src);
+            let done = ring.transfer_data(t, AgentId::L3, src);
+            now += 4;
+            black_box(done)
+        });
+    });
+    g.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace");
+    g.throughput(Throughput::Elements(1));
+    for wl in Workload::all() {
+        g.bench_function(format!("generate_{wl}"), |b| {
+            let params = wl.params(16, CacheScale::scaled(8));
+            let mut w = SyntheticWorkload::new(params, 7).unwrap();
+            let mut t = 0u16;
+            b.iter(|| {
+                t = (t + 1) % 16;
+                black_box(w.next_record(ThreadId::new(t)))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tag_array,
+    bench_history_table,
+    bench_event_queue,
+    bench_ring,
+    bench_trace_generation
+);
+criterion_main!(benches);

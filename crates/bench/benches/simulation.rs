@@ -1,0 +1,101 @@
+//! End-to-end simulation benchmarks: one short run per policy, plus the
+//! ablation points DESIGN.md calls out (snarf insert position, WBHT
+//! update scope). These measure *simulator* throughput; the paper's
+//! performance numbers come from the `exp-*` binaries.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cmp_adaptive_wb::{
+    run, PolicyConfig, RunSpec, SnarfConfig, SystemConfig, UpdateScope, WbhtConfig,
+};
+use cmpsim_cache::InsertPosition;
+use cmpsim_trace::Workload;
+
+const REFS: u64 = 2_000;
+
+fn spec(policy: PolicyConfig, workload: Workload) -> RunSpec {
+    let mut cfg = SystemConfig::scaled(16);
+    cfg.policy = policy;
+    cfg.max_outstanding = 6;
+    RunSpec::for_workload(cfg, workload, REFS)
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation");
+    g.sample_size(10);
+    let policies: Vec<(&str, PolicyConfig)> = vec![
+        ("baseline", PolicyConfig::Baseline),
+        (
+            "wbht",
+            PolicyConfig::Wbht(WbhtConfig {
+                entries: 2048,
+                ..Default::default()
+            }),
+        ),
+        (
+            "snarf",
+            PolicyConfig::Snarf(SnarfConfig {
+                entries: 2048,
+                ..Default::default()
+            }),
+        ),
+        ("combined", PolicyConfig::combined_paper()),
+    ];
+    for (name, p) in policies {
+        g.bench_function(format!("trade2_{name}"), |b| {
+            b.iter(|| black_box(run(spec(p.clone(), Workload::Trade2)).unwrap().stats.cycles));
+        });
+    }
+    g.finish();
+}
+
+fn bench_ablation_insert_pos(c: &mut Criterion) {
+    // Ablation: where snarfed lines land in the recipient's LRU stack
+    // (§3 discusses recipient LRU management).
+    let mut g = c.benchmark_group("ablation_snarf_insert");
+    g.sample_size(10);
+    for (name, pos) in [
+        ("mru", InsertPosition::Mru),
+        ("mid", InsertPosition::Mid),
+        ("lru", InsertPosition::Lru),
+    ] {
+        g.bench_function(name, |b| {
+            let p = PolicyConfig::Snarf(SnarfConfig {
+                entries: 2048,
+                assoc: 16,
+                insert_pos: pos,
+            });
+            b.iter(|| black_box(run(spec(p.clone(), Workload::Tp)).unwrap().stats.cycles));
+        });
+    }
+    g.finish();
+}
+
+fn bench_ablation_scope(c: &mut Criterion) {
+    // Ablation: local vs global WBHT updates (Figure 2 vs Figure 3).
+    let mut g = c.benchmark_group("ablation_wbht_scope");
+    g.sample_size(10);
+    for (name, scope) in [
+        ("local", UpdateScope::Local),
+        ("global", UpdateScope::Global),
+    ] {
+        g.bench_function(name, |b| {
+            let p = PolicyConfig::Wbht(WbhtConfig {
+                entries: 2048,
+                assoc: 16,
+                scope,
+                granularity: 1,
+            });
+            b.iter(|| black_box(run(spec(p.clone(), Workload::Trade2)).unwrap().stats.cycles));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_policies,
+    bench_ablation_insert_pos,
+    bench_ablation_scope
+);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Regenerates the §7 future-work extension: multi-line WBHT entries.
+fn main() {
+    let profile = cmpsim_bench::Profile::from_env();
+    let e = cmpsim_bench::experiments::by_id("ext-granularity").expect("registered experiment");
+    println!("== {} ==", e.title);
+    println!("{}", (e.run)(&profile));
+}

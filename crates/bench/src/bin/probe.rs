@@ -1,0 +1,59 @@
+//! Internal calibration probe: per-workload baseline / WBHT / snarf
+//! summaries at one pressure point. Used while tuning the synthetic
+//! workloads; kept for future recalibration work.
+//!
+//! ```sh
+//! probe [scale_factor] [refs_per_thread]
+//! ```
+
+use cmp_adaptive_wb::{run, PolicyConfig, RunSpec, SystemConfig, WbhtConfig, SnarfConfig, RetrySwitchConfig};
+use cmpsim_trace::Workload;
+use std::time::Instant;
+
+fn main() {
+    let factor: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let refs: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    for wl in Workload::all() {
+        let mut cfg = SystemConfig::scaled(factor);
+        cfg.max_outstanding = 6;
+        let t0 = Instant::now();
+        let mut spec = RunSpec::for_workload(cfg.clone(), wl, refs);
+        spec.retry_switch = Some(RetrySwitchConfig::scaled(factor));
+        let base = run(spec).unwrap();
+        let dt = t0.elapsed();
+        let s = &base.stats;
+        println!("== {wl} base: cycles={} refs={} wall={:?} ({:.1} Mref/s)", s.cycles, s.refs, dt, s.refs as f64/dt.as_secs_f64()/1e6);
+        println!("   l1_hit={:.1}% l2_hit={:.1}% l3_load_hit={:.1}% fills l2/l3/mem={}/{}/{}",
+            100.0*s.l1_hits as f64/s.refs as f64, 100.0*s.l2_hit_rate(),
+            100.0*base.l3.read_hits as f64/(base.l3.read_hits+base.l3.read_misses).max(1) as f64,
+            s.fills_from_l2, s.fills_from_l3, s.fills_from_memory);
+        println!("   wb: clean_req={} dirty_req={} clean_redundant={:.1}% retries_l3={} retries_total={} upgrades={}",
+            s.wb.clean_requests, s.wb.dirty_requests, 100.0*s.wb.clean_redundant_rate(), s.retries_l3, s.retries_total, s.upgrades);
+        println!("   reuse: total={:.1}% accepted={:.1}%", 100.0*s.wb_reuse.reuse_rate_total(), 100.0*s.wb_reuse.reuse_rate_accepted());
+
+        // WBHT run
+        let mut cfgw = cfg.clone();
+        cfgw.policy = PolicyConfig::Wbht(WbhtConfig { entries: (32*1024/factor).max(512), ..Default::default() });
+        let mut spec = RunSpec::for_workload(cfgw, wl, refs);
+        spec.retry_switch = Some(RetrySwitchConfig::scaled(factor));
+        let w = run(spec).unwrap();
+        println!("   WBHT: improvement={:+.2}% aborted={} correct={:.1}% decisions={}",
+            w.improvement_over(&base), w.stats.wb.clean_aborted, 100.0*w.wbht.correct_rate(), w.wbht.decisions);
+
+        // Snarf run
+        let mut cfgs = cfg.clone();
+        cfgs.policy = PolicyConfig::Snarf(SnarfConfig { entries: (32*1024/factor).max(512), ..Default::default() });
+        let mut spec = RunSpec::for_workload(cfgs, wl, refs);
+        spec.retry_switch = Some(RetrySwitchConfig::scaled(factor));
+        let sn = run(spec).unwrap();
+        println!("   SNARF: improvement={:+.2}% snarfed={} used_local={:.1}% used_interv={:.1}% squashed_peer={} retries_l3={} offchip_red={:.1}%",
+            sn.improvement_over(&base), sn.stats.snarf.snarfed, 100.0*sn.stats.snarf.local_use_rate(),
+            100.0*sn.stats.snarf.intervention_use_rate(), sn.stats.wb.squashed_peer, sn.stats.retries_l3,
+            100.0*(1.0 - sn.stats.off_chip_accesses() as f64/base.stats.off_chip_accesses().max(1) as f64));
+        if let Some(ts) = sn.snarf_table {
+            println!("   snarf-table: recorded={} use_bits={} eligible={} not_eligible={}",
+                ts.recorded, ts.use_bits_set, ts.eligible, ts.not_eligible);
+        }
+    }
+}
+// snarf-table diagnostics appended via env var PROBE_SNARF_DIAG

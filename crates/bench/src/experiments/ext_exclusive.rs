@@ -1,0 +1,82 @@
+//! Ablation of design decision 3 (DESIGN.md): the L3 victim cache keeps
+//! its copy on a read hit.
+//!
+//! The paper's Table 1 exists *because* the modelled L3 retains lines it
+//! serves back to the L2s — that is what makes 42–79 % of clean
+//! write-backs redundant, and what gives the WBHT something to learn.
+//! This ablation flips the L3 to a strictly exclusive victim cache
+//! (invalidate on read hit) and shows the redundancy — and with it the
+//! WBHT's abort opportunity — collapsing.
+
+use crate::experiments::{base_cfg, pct, workloads};
+use crate::{parallel_runs, Profile, Table};
+
+/// Runs the ablation and renders redundancy rates under both designs.
+pub fn run(p: &Profile) -> String {
+    let mut specs = Vec::new();
+    for &wl in &workloads() {
+        specs.push(p.spec(base_cfg(p, 6), wl));
+        let mut excl = base_cfg(p, 6);
+        excl.l3.exclusive_on_read_hit = true;
+        specs.push(p.spec(excl, wl));
+    }
+    let reports = parallel_runs(specs);
+    let mut t = Table::new(vec![
+        "Workload".into(),
+        "Redundant clean WBs (retaining L3)".into(),
+        "Redundant (exclusive L3)".into(),
+        "L3 load hit (retaining)".into(),
+        "L3 load hit (exclusive)".into(),
+    ]);
+    let l3_hit = |r: &cmp_adaptive_wb::RunReport| {
+        let tot = r.l3.read_hits + r.l3.read_misses;
+        if tot == 0 {
+            0.0
+        } else {
+            r.l3.read_hits as f64 / tot as f64
+        }
+    };
+    for pair in reports.chunks(2) {
+        let (keep, excl) = (&pair[0], &pair[1]);
+        t.row(vec![
+            keep.workload.clone(),
+            pct(keep.stats.wb.clean_redundant_rate()),
+            pct(excl.stats.wb.clean_redundant_rate()),
+            pct(l3_hit(keep)),
+            pct(l3_hit(excl)),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_l3_reduces_redundancy() {
+        let p = Profile {
+            scale_factor: 16,
+            refs_per_thread: 2_500,
+            seeds: 1,
+        };
+        let out = run(&p);
+        assert!(out.contains("exclusive"));
+        // Parse the Trade2 row: retaining redundancy should exceed the
+        // exclusive one.
+        let line = out
+            .lines()
+            .find(|l| l.starts_with("Trade2"))
+            .expect("Trade2 row");
+        let vals: Vec<f64> = line
+            .split_whitespace()
+            .filter_map(|c| c.strip_suffix('%'))
+            .filter_map(|c| c.parse().ok())
+            .collect();
+        assert!(vals.len() >= 2);
+        assert!(
+            vals[0] > vals[1],
+            "retaining L3 should be more redundant: {vals:?}"
+        );
+    }
+}

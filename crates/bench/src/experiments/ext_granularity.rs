@@ -1,0 +1,74 @@
+//! Extension (paper §7 future work): multi-line WBHT entries.
+//!
+//! "One idea we are investigating for reducing the size of the WBHT …
+//! is to allow each entry in the table to serve multiple cache lines,
+//! reducing the size of each entry and providing greater coverage at
+//! the risk of increased prediction errors." This experiment sweeps the
+//! per-entry coverage (1–8 lines) at a fixed *quarter-size* table and 6
+//! outstanding loads/thread, reporting runtime improvement over the
+//! baseline and the oracle-correct decision rate.
+
+use cmp_adaptive_wb::{PolicyConfig, UpdateScope, WbhtConfig};
+
+use crate::experiments::{base_cfg, pct, pp, workloads};
+use crate::{parallel_runs, Profile, Table};
+
+/// Runs the sweep and renders improvement / correctness per granularity.
+pub fn run(p: &Profile) -> String {
+    // A deliberately small table: coverage is where coarse entries help.
+    let entries = p.table_entries(8 * 1024);
+    let grans = [1u64, 2, 4, 8];
+    let mut specs = Vec::new();
+    for &wl in &workloads() {
+        specs.push(p.spec(base_cfg(p, 6), wl));
+        for &g in &grans {
+            let mut cfg = base_cfg(p, 6);
+            cfg.policy = PolicyConfig::Wbht(WbhtConfig {
+                entries,
+                assoc: 16,
+                scope: UpdateScope::Local,
+                granularity: g,
+            });
+            specs.push(p.spec(cfg, wl));
+        }
+    }
+    let reports = parallel_runs(specs);
+    let mut header = vec!["Workload".to_string()];
+    for &g in &grans {
+        header.push(format!("{g} line/entry"));
+        header.push("correct".into());
+    }
+    let mut t = Table::new(header);
+    let mut idx = 0;
+    for &wl in &workloads() {
+        let base = reports[idx].clone();
+        idx += 1;
+        let mut row = vec![wl.name().to_string()];
+        for _ in &grans {
+            let r = &reports[idx];
+            idx += 1;
+            row.push(pp(r.improvement_over(&base)));
+            row.push(pct(r.wbht.correct_rate()));
+        }
+        t.row(row);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_renders() {
+        let p = Profile {
+            scale_factor: 16,
+            refs_per_thread: 1_000,
+            seeds: 1,
+        };
+        let out = run(&p);
+        assert!(out.contains("1 line/entry"));
+        assert!(out.contains("8 line/entry"));
+        assert!(out.contains("Trade2"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Ablation of the snarf-insertion recency position (§3: "managing the
+//! LRU information at the recipient cache to optimize the chances of
+//! such lines staying at the destination until they are reused").
+//!
+//! Snarfed lines can enter the recipient's recency stack at MRU (stay
+//! longest), mid-stack, or LRU (first out). MRU maximizes reuse but
+//! also maximizes interference with the recipient's own lines.
+
+use cmp_adaptive_wb::{PolicyConfig, SnarfConfig};
+use cmpsim_cache::InsertPosition;
+
+use crate::experiments::{base_cfg, default_entries, pct, pp, workloads};
+use crate::{parallel_runs, Profile, Table};
+
+/// Runs the ablation and renders improvement + snarf-reuse per position.
+pub fn run(p: &Profile) -> String {
+    let entries = default_entries(p);
+    let positions = [
+        ("MRU", InsertPosition::Mru),
+        ("Mid", InsertPosition::Mid),
+        ("LRU", InsertPosition::Lru),
+    ];
+    let mut specs = Vec::new();
+    for &wl in &workloads() {
+        specs.push(p.spec(base_cfg(p, 6), wl));
+        for &(_, pos) in &positions {
+            let mut cfg = base_cfg(p, 6);
+            cfg.policy = PolicyConfig::Snarf(SnarfConfig {
+                entries,
+                assoc: 16,
+                insert_pos: pos,
+            });
+            specs.push(p.spec(cfg, wl));
+        }
+    }
+    let reports = parallel_runs(specs);
+    let mut header = vec!["Workload".to_string()];
+    for (name, _) in positions {
+        header.push(format!("{name} improvement"));
+        header.push("reused".into());
+    }
+    let mut t = Table::new(header);
+    let mut idx = 0;
+    for &wl in &workloads() {
+        let base = reports[idx].clone();
+        idx += 1;
+        let mut row = vec![wl.name().to_string()];
+        for _ in positions {
+            let r = &reports[idx];
+            idx += 1;
+            row.push(pp(r.improvement_over(&base)));
+            let reuse = (r.stats.snarf.used_locally + r.stats.snarf.used_for_intervention) as f64
+                / r.stats.snarf.snarfed.max(1) as f64;
+            row.push(pct(reuse));
+        }
+        t.row(row);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_renders_three_positions() {
+        let p = Profile {
+            scale_factor: 16,
+            refs_per_thread: 1_500,
+            seeds: 1,
+        };
+        let out = run(&p);
+        for col in ["MRU improvement", "Mid improvement", "LRU improvement"] {
+            assert!(out.contains(col), "missing {col}");
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Extension (paper §7 future work): POWER5-style chip-private L3s.
+//!
+//! "Currently, we are investigating alternate L3 organizations and
+//! policies, including having separate buses for chip-private L3 caches
+//! and memory, similar to the POWER 5 architecture from IBM." This
+//! experiment compares the paper's shared L3 victim cache against a
+//! same-total-capacity partitioning into four private L3s with dedicated
+//! buses: castouts skip the snooped ring entirely, but each L2 can only
+//! use a quarter of the L3 capacity and cross-L2 reuse is lost.
+
+use cmp_adaptive_wb::L3Organization;
+
+use crate::experiments::{base_cfg, pct, pp, workloads};
+use crate::{parallel_runs, Profile, Table};
+
+/// Runs the comparison and renders per-workload outcomes.
+pub fn run(p: &Profile) -> String {
+    let mut specs = Vec::new();
+    for &wl in &workloads() {
+        specs.push(p.spec(base_cfg(p, 6), wl));
+        let mut private = base_cfg(p, 6);
+        private.l3_organization = L3Organization::PrivatePerL2;
+        specs.push(p.spec(private, wl));
+    }
+    let reports = parallel_runs(specs);
+    let mut t = Table::new(vec![
+        "Workload".into(),
+        "Shared cycles".into(),
+        "Private cycles".into(),
+        "Private vs shared".into(),
+        "L3 hit (shared)".into(),
+        "L3 hit (private)".into(),
+        "Ring addr txns (shared)".into(),
+        "(private)".into(),
+    ]);
+    let l3_hit = |r: &cmp_adaptive_wb::RunReport| {
+        let tot = r.l3.read_hits + r.l3.read_misses;
+        if tot == 0 {
+            0.0
+        } else {
+            r.l3.read_hits as f64 / tot as f64
+        }
+    };
+    for pair in reports.chunks(2) {
+        let (shared, private) = (&pair[0], &pair[1]);
+        t.row(vec![
+            shared.workload.clone(),
+            shared.stats.cycles.to_string(),
+            private.stats.cycles.to_string(),
+            pp(private.improvement_over(shared)),
+            pct(l3_hit(shared)),
+            pct(l3_hit(private)),
+            shared.ring.addr_issued.to_string(),
+            private.ring.addr_issued.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn private_organization_runs_and_sheds_ring_traffic() {
+        let p = Profile {
+            scale_factor: 16,
+            refs_per_thread: 2_000,
+            seeds: 1,
+        };
+        let out = run(&p);
+        assert!(out.contains("Private"));
+        // Private castouts never arbitrate for the address ring, so the
+        // private column's transaction count must be lower for the
+        // write-back-heavy Trade2 row.
+        let line = out
+            .lines()
+            .find(|l| l.starts_with("Trade2"))
+            .expect("Trade2 row");
+        let nums: Vec<u64> = line
+            .split_whitespace()
+            .filter_map(|c| c.parse().ok())
+            .collect();
+        // cycles(shared), cycles(private), addr(shared), addr(private)
+        assert!(nums.len() >= 4);
+        let (addr_shared, addr_private) = (nums[nums.len() - 2], nums[nums.len() - 1]);
+        assert!(
+            addr_private < addr_shared,
+            "private ring txns {addr_private} not below shared {addr_shared}"
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Extension (paper §7 future work): history-aware L2 replacement.
+//!
+//! "Finally, we are developing new replacement algorithms that take into
+//! account information contained in the history tables presented here to
+//! better utilize all available cache space." This experiment compares
+//! the WBHT policy with plain LRU replacement against a variant whose
+//! victim selection prefers — among the four least-recently-used ways —
+//! clean lines the WBHT knows to be resident in the L3 (their write-back
+//! will be aborted and a later re-fetch pays only the L3 latency).
+
+use cmp_adaptive_wb::UpdateScope;
+
+use crate::experiments::{default_entries, pp, wbht_cfg, workloads};
+use crate::{parallel_runs, Profile, Table};
+
+/// Runs the comparison and renders improvements over the plain-LRU WBHT
+/// system.
+pub fn run(p: &Profile) -> String {
+    let entries = default_entries(p);
+    let mut specs = Vec::new();
+    for &wl in &workloads() {
+        specs.push(p.spec(wbht_cfg(p, 6, entries, UpdateScope::Local), wl));
+        let mut aware = wbht_cfg(p, 6, entries, UpdateScope::Local);
+        aware.history_aware_replacement = true;
+        specs.push(p.spec(aware, wl));
+    }
+    let reports = parallel_runs(specs);
+    let mut t = Table::new(vec![
+        "Workload".into(),
+        "WBHT cycles".into(),
+        "+history-aware cycles".into(),
+        "delta".into(),
+    ]);
+    for pair in reports.chunks(2) {
+        let (lru, aware) = (&pair[0], &pair[1]);
+        t.row(vec![
+            lru.workload.clone(),
+            lru.stats.cycles.to_string(),
+            aware.stats.cycles.to_string(),
+            pp(aware.improvement_over(lru)),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_renders() {
+        let p = Profile {
+            scale_factor: 16,
+            refs_per_thread: 1_000,
+            seeds: 1,
+        };
+        let out = run(&p);
+        assert!(out.contains("history-aware"));
+        assert!(out.contains("TP"));
+    }
+}

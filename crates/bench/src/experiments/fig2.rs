@@ -1,0 +1,37 @@
+//! Figure 2: runtime improvement of the WBHT over the baseline as the
+//! maximum number of outstanding loads per thread grows from 1 to 6.
+//!
+//! Paper shape: near-zero (or slightly negative for TP) at 1–2 loads
+//! where the retry switch keeps the WBHT disengaged, rising with memory
+//! pressure to ~6–13 % at 6 loads (Trade2 highest, NotesBench flat).
+
+use cmp_adaptive_wb::UpdateScope;
+
+use crate::experiments::{default_entries, pressure_sweep, wbht_cfg};
+use crate::Profile;
+
+/// Runs the sweep and renders percentage improvements per pressure.
+pub fn run(p: &Profile) -> String {
+    let entries = default_entries(p);
+    pressure_sweep(p, |p, n| wbht_cfg(p, n, entries, UpdateScope::Local)).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_has_six_pressure_columns() {
+        let p = Profile {
+            scale_factor: 16,
+            refs_per_thread: 1_000,
+            seeds: 1,
+        };
+        let out = run(&p);
+        let header = out.lines().next().unwrap();
+        for n in 1..=6 {
+            assert!(header.contains(&n.to_string()));
+        }
+        assert!(out.contains("Trade2"));
+    }
+}

@@ -1,0 +1,34 @@
+//! Figure 3: like Figure 2, but every L2 allocates a WBHT entry when the
+//! combined snoop response reveals a redundant clean write-back (global
+//! update scope). The paper observes "a small increase for all
+//! applications when memory contention is high, with Trade2 benefiting
+//! the most".
+
+use cmp_adaptive_wb::UpdateScope;
+
+use crate::experiments::{default_entries, pressure_sweep, wbht_cfg};
+use crate::Profile;
+
+/// Runs the sweep and renders percentage improvements per pressure.
+pub fn run(p: &Profile) -> String {
+    let entries = default_entries(p);
+    pressure_sweep(p, |p, n| wbht_cfg(p, n, entries, UpdateScope::Global)).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_workloads() {
+        let p = Profile {
+            scale_factor: 16,
+            refs_per_thread: 1_000,
+            seeds: 1,
+        };
+        let out = run(&p);
+        for wl in ["CPW2", "NotesBench", "TP", "Trade2"] {
+            assert!(out.contains(wl));
+        }
+    }
+}

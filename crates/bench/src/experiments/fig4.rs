@@ -1,0 +1,48 @@
+//! Figure 4: execution time vs WBHT size, normalized to a 512-entry
+//! WBHT system, at 6 outstanding loads/thread.
+//!
+//! Paper shape: all workloads improve (values below 1.0) as the table
+//! grows 1K→64K, Trade2 by far the most (≈0.78 at 64K), the others
+//! more gently.
+
+use cmp_adaptive_wb::UpdateScope;
+
+use crate::experiments::{size_sweep, wbht_cfg};
+use crate::Profile;
+
+/// Runs the size sweep and renders normalized runtimes.
+pub fn run(p: &Profile) -> String {
+    // Paper sweeps 1K..64K; scale with the profile but keep >= 512.
+    let sizes: Vec<u64> = [1024u64, 2048, 4096, 8192, 16384, 32768, 65536]
+        .iter()
+        .map(|&s| (s / p.scale_factor).max(512))
+        .collect();
+    let mut sizes = sizes;
+    sizes.dedup();
+    size_sweep(p, &sizes, |p, sz| {
+        wbht_cfg(p, 6, sz, UpdateScope::Local)
+    })
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_values_near_one() {
+        let p = Profile {
+            scale_factor: 16,
+            refs_per_thread: 1_000,
+            seeds: 1,
+        };
+        let out = run(&p);
+        // Every data cell parses as a float around 1.
+        for line in out.lines().skip(2) {
+            for cell in line.split_whitespace().skip(1) {
+                let v: f64 = cell.parse().unwrap();
+                assert!((0.3..2.0).contains(&v), "value {v} out of range");
+            }
+        }
+    }
+}

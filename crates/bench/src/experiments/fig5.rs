@@ -1,0 +1,32 @@
+//! Figure 5: runtime improvement from allowing L2-to-L2 write-back
+//! snarfing, versus outstanding loads per thread.
+//!
+//! Paper shape: CPW2 and NotesBench flat at ~1.7–2.4 %, Trade2 rising
+//! to ~5.9 %, TP spiking to ~13 % at high pressure (driven by a >99 %
+//! reduction in L3-issued retries).
+
+use crate::experiments::{default_entries, pressure_sweep, snarf_cfg};
+use crate::Profile;
+
+/// Runs the sweep and renders percentage improvements per pressure.
+pub fn run(p: &Profile) -> String {
+    let entries = default_entries(p);
+    pressure_sweep(p, |p, n| snarf_cfg(p, n, entries)).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_sweep() {
+        let p = Profile {
+            scale_factor: 16,
+            refs_per_thread: 1_000,
+            seeds: 1,
+        };
+        let out = run(&p);
+        assert!(out.contains("TP"));
+        assert!(out.lines().count() >= 6);
+    }
+}

@@ -1,0 +1,34 @@
+//! Figure 6: execution time vs snarf-table size, normalized to a
+//! 512-entry table, at 6 outstanding loads/thread.
+//!
+//! Paper shape: little sensitivity beyond a modest size for most
+//! workloads; Trade2 the most sensitive, improving ~4.5 % at 64K.
+
+use crate::experiments::{size_sweep, snarf_cfg};
+use crate::Profile;
+
+/// Runs the size sweep and renders normalized runtimes.
+pub fn run(p: &Profile) -> String {
+    let mut sizes: Vec<u64> = [1024u64, 2048, 4096, 8192, 16384, 32768, 65536]
+        .iter()
+        .map(|&s| (s / p.scale_factor).max(512))
+        .collect();
+    sizes.dedup();
+    size_sweep(p, &sizes, |p, sz| snarf_cfg(p, 6, sz)).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_normalized_runtimes() {
+        let p = Profile {
+            scale_factor: 16,
+            refs_per_thread: 1_000,
+            seeds: 1,
+        };
+        let out = run(&p);
+        assert!(out.contains("Table entries"));
+    }
+}

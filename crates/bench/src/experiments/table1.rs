@@ -1,0 +1,51 @@
+//! Table 1: percentage of clean L2 write-backs already present in the L3.
+//!
+//! Paper values: CPW 60.0 %, NotesBench 59.1 %, TP 42.1 %, Trade2 79.1 %.
+//! Measured on the *baseline* system at 6 outstanding loads/thread: of
+//! all clean castout transactions, the fraction the L3 squashed because
+//! it already held a valid copy.
+
+use crate::experiments::{base_cfg, pct, workloads};
+use crate::{parallel_runs, Profile, Table};
+
+/// Runs the experiment and renders the table.
+pub fn run(p: &Profile) -> String {
+    let specs = workloads()
+        .iter()
+        .map(|&wl| p.spec(base_cfg(p, 6), wl))
+        .collect();
+    let reports = parallel_runs(specs);
+    let mut t = Table::new(vec![
+        "Workload".into(),
+        "Clean WBs already in L3".into(),
+        "(paper)".into(),
+    ]);
+    let paper = ["60.0%", "59.1%", "42.1%", "79.1%"];
+    for (r, paper) in reports.iter().zip(paper) {
+        t.row(vec![
+            r.workload.clone(),
+            pct(r.stats.wb.clean_redundant_rate()),
+            paper.into(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_four_rows_with_percentages() {
+        let p = Profile {
+            scale_factor: 16,
+            refs_per_thread: 2_000,
+            seeds: 1,
+        };
+        let out = run(&p);
+        for wl in ["CPW2", "NotesBench", "TP", "Trade2"] {
+            assert!(out.contains(wl), "missing {wl} in:\n{out}");
+        }
+        assert!(out.matches('%').count() >= 8);
+    }
+}

@@ -1,0 +1,51 @@
+//! Table 2: write-back reuse statistics.
+//!
+//! Paper values (`% Total` / `% Accepted`): CPW2 27.1/38.4,
+//! NotesBench 33.9/53.2, TP 15.5/18.6, Trade2 28.9/58.7. Measured on the
+//! baseline system: the fraction of attempted (resp. L3-accepted)
+//! write-backs whose line was later missed on again.
+
+use crate::experiments::{base_cfg, pct, workloads};
+use crate::{parallel_runs, Profile, Table};
+
+/// Runs the experiment and renders the table.
+pub fn run(p: &Profile) -> String {
+    let specs = workloads()
+        .iter()
+        .map(|&wl| p.spec(base_cfg(p, 6), wl))
+        .collect();
+    let reports = parallel_runs(specs);
+    let mut t = Table::new(vec![
+        "Workload".into(),
+        "% Total".into(),
+        "% Accepted".into(),
+        "(paper)".into(),
+    ]);
+    let paper = ["27.1 / 38.4", "33.9 / 53.2", "15.5 / 18.6", "28.9 / 58.7"];
+    for (r, paper) in reports.iter().zip(paper) {
+        t.row(vec![
+            r.workload.clone(),
+            pct(r.stats.wb_reuse.reuse_rate_total()),
+            pct(r.stats.wb_reuse.reuse_rate_accepted()),
+            paper.into(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuse_rates_present() {
+        let p = Profile {
+            scale_factor: 16,
+            refs_per_thread: 2_000,
+            seeds: 1,
+        };
+        let out = run(&p);
+        assert!(out.contains("% Total"));
+        assert!(out.contains("Trade2"));
+    }
+}

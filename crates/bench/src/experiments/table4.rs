@@ -1,0 +1,74 @@
+//! Table 4: effects of the Write-Back History Table at 6 loads/thread.
+//!
+//! Per workload, base vs WBHT: the WBHT correct-decision rate (oracle:
+//! peeking into the L3), the L3 load hit rate, the number of L2
+//! write-back requests reaching the bus, and the L3-issued retry count.
+
+use cmp_adaptive_wb::UpdateScope;
+
+use crate::experiments::{base_cfg, default_entries, pct, wbht_cfg, workloads};
+use crate::{parallel_runs, Profile, Table};
+
+/// Runs the experiment and renders the table.
+pub fn run(p: &Profile) -> String {
+    let entries = default_entries(p);
+    let mut specs = Vec::new();
+    for &wl in &workloads() {
+        specs.push(p.spec(base_cfg(p, 6), wl));
+        specs.push(p.spec(wbht_cfg(p, 6, entries, UpdateScope::Local), wl));
+    }
+    let reports = parallel_runs(specs);
+    let mut t = Table::new(vec![
+        "Workload".into(),
+        "Config".into(),
+        "WBHT correct".into(),
+        "L3 load hit rate".into(),
+        "L2 WB requests".into(),
+        "L3-issued retries".into(),
+    ]);
+    for pair in reports.chunks(2) {
+        let (base, wbht) = (&pair[0], &pair[1]);
+        let l3_hit = |r: &cmp_adaptive_wb::RunReport| {
+            let tot = r.l3.read_hits + r.l3.read_misses;
+            if tot == 0 {
+                0.0
+            } else {
+                r.l3.read_hits as f64 / tot as f64
+            }
+        };
+        t.row(vec![
+            base.workload.clone(),
+            "Base".into(),
+            "N/A".into(),
+            pct(l3_hit(base)),
+            base.stats.wb.requests().to_string(),
+            base.stats.retries_l3.to_string(),
+        ]);
+        t.row(vec![
+            String::new(),
+            "WBHT".into(),
+            pct(wbht.wbht.correct_rate()),
+            pct(l3_hit(wbht)),
+            wbht.stats.wb.requests().to_string(),
+            wbht.stats.retries_l3.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_for_base_and_wbht() {
+        let p = Profile {
+            scale_factor: 16,
+            refs_per_thread: 2_000,
+            seeds: 1,
+        };
+        let out = run(&p);
+        assert_eq!(out.matches("Base").count(), 4);
+        assert_eq!(out.matches("WBHT").count(), 4 + 1); // header column label
+    }
+}

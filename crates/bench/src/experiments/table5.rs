@@ -1,0 +1,75 @@
+//! Table 5: effects of L2-to-L2 write-backs at 6 loads/thread.
+//!
+//! Per workload: performance improvement, reduction in off-chip
+//! accesses, % of write-backs snarfed, % of snarfed lines used locally /
+//! provided for interventions, increase in the local L2 hit rate, and
+//! the L3-issued retry-rate reduction.
+
+use crate::experiments::{base_cfg, default_entries, pct, pp, snarf_cfg, workloads};
+use crate::{parallel_runs, Profile, Table};
+
+/// Runs the experiment and renders the table.
+pub fn run(p: &Profile) -> String {
+    let entries = default_entries(p);
+    let mut specs = Vec::new();
+    for &wl in &workloads() {
+        specs.push(p.spec(base_cfg(p, 6), wl));
+        specs.push(p.spec(snarf_cfg(p, 6, entries), wl));
+    }
+    let reports = parallel_runs(specs);
+    let mut t = Table::new(vec![
+        "Metric".into(),
+        "CPW2".into(),
+        "NotesBench".into(),
+        "TP".into(),
+        "Trade2".into(),
+    ]);
+    let mut rows: Vec<Vec<String>> = vec![
+        vec!["Performance improvement".into()],
+        vec!["Reduction in off-chip accesses".into()],
+        vec!["Write-backs snarfed".into()],
+        vec!["Snarfed lines used locally".into()],
+        vec!["Snarfed lines provided for interventions".into()],
+        vec!["Increase in local L2 hit rate".into()],
+        vec!["L3-issued retry-rate reduction".into()],
+    ];
+    for pair in reports.chunks(2) {
+        let (base, sn) = (&pair[0], &pair[1]);
+        rows[0].push(pp(sn.improvement_over(base)));
+        let off_red = 1.0
+            - sn.stats.off_chip_accesses() as f64 / base.stats.off_chip_accesses().max(1) as f64;
+        rows[1].push(pct(off_red));
+        rows[2].push(pct(
+            sn.stats.snarf.snarfed as f64 / sn.stats.wb.requests().max(1) as f64,
+        ));
+        rows[3].push(pct(sn.stats.snarf.local_use_rate()));
+        rows[4].push(pct(sn.stats.snarf.intervention_use_rate()));
+        rows[5].push(pp(
+            (sn.stats.l2_hit_rate() - base.stats.l2_hit_rate()) * 100.0,
+        ));
+        let retry_red = 1.0 - sn.stats.retries_l3 as f64 / base.stats.retries_l3.max(1) as f64;
+        rows[6].push(pct(retry_red));
+    }
+    for r in rows {
+        t.row(r);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_seven_metrics_present() {
+        let p = Profile {
+            scale_factor: 16,
+            refs_per_thread: 2_000,
+            seeds: 1,
+        };
+        let out = run(&p);
+        assert!(out.contains("Write-backs snarfed"));
+        assert!(out.contains("retry-rate reduction"));
+        assert!(out.lines().count() >= 9);
+    }
+}

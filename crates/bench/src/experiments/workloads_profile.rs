@@ -1,0 +1,66 @@
+//! Workload characterization: the measurable properties of the four
+//! synthetic commercial workloads, as the calibration evidence behind
+//! DESIGN.md's trace substitution.
+
+use cmpsim_trace::analysis::{profile, ReuseDistances};
+use cmpsim_trace::SyntheticWorkload;
+
+use crate::experiments::{pct, workloads};
+use crate::{Profile, Table};
+
+/// Profiles each workload's generated stream and renders the table.
+pub fn run(p: &Profile) -> String {
+    let cfg = p.config();
+    let n = (p.refs_per_thread as usize * 4).min(400_000);
+    let mut t = Table::new(vec![
+        "Workload".into(),
+        "Stores".into(),
+        "Footprint (lines)".into(),
+        "Shared lines".into(),
+        "Cross-L2 lines".into(),
+        "Cold misses".into(),
+        "LRU hit @ one-L2".into(),
+        "LRU hit @ L3".into(),
+    ]);
+    for wl in workloads() {
+        let params = wl.params(cfg.num_threads(), cfg.cache_scale());
+        let mut gen = SyntheticWorkload::new(params, cfg.seed).expect("valid preset");
+        let records = gen.generate(n);
+        let prof = profile(&records, cfg.line_bytes, 4);
+        let rd = ReuseDistances::from_records(&records, cfg.line_bytes);
+        let l2_lines = cfg.l2_lines_total() / cfg.num_l2 as u64;
+        let l3_lines = cfg.l3_lines_total();
+        t.row(vec![
+            wl.name().into(),
+            format!("{:.1}%", prof.store_permille as f64 / 10.0),
+            prof.footprint_lines.to_string(),
+            pct(prof.shared_lines as f64 / prof.footprint_lines.max(1) as f64),
+            pct(prof.cross_l2_lines as f64 / prof.footprint_lines.max(1) as f64),
+            pct(rd.cold_misses() as f64 / rd.total().max(1) as f64),
+            pct(rd.hit_rate_at(l2_lines)),
+            pct(rd.hit_rate_at(l3_lines)),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_have_expected_ordering() {
+        let p = Profile {
+            scale_factor: 16,
+            refs_per_thread: 4_000,
+            seeds: 1,
+        };
+        let out = run(&p);
+        assert!(out.contains("Footprint"));
+        // Every workload row renders with eight columns.
+        for wl in ["CPW2", "NotesBench", "TP", "Trade2"] {
+            let row = out.lines().find(|l| l.starts_with(wl)).unwrap();
+            assert!(row.matches('%').count() >= 5, "row {row}");
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each experiment module corresponds to one table or figure of §5 of
+//! *"Adaptive Mechanisms and Policies for Managing Cache Hierarchies in
+//! Chip Multiprocessors"* and prints output in the same shape as the
+//! paper reports it. `exp-all` (see `src/bin/`) runs everything and is
+//! the source of `EXPERIMENTS.md`.
+//!
+//! Experiments run at a [`Profile`]-selected scale: `quick` (default)
+//! uses a capacity-scaled hierarchy and short streams; `full` uses the
+//! paper's full 8 MB L2 / 16 MB L3 geometry with longer streams. Select
+//! with the `CMPSIM_PROFILE` environment variable.
+
+pub mod experiments;
+mod profile;
+mod table;
+
+pub use profile::{parallel_runs, Profile};
+pub use table::Table;

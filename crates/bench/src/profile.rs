@@ -1,0 +1,152 @@
+//! Experiment profiles: how large a simulation each experiment runs.
+
+use cmp_adaptive_wb::{RetrySwitchConfig, RunReport, RunSpec, SystemConfig};
+
+/// Scale profile for experiment runs.
+///
+/// * `quick` — hierarchy capacities divided by 8 (L2 256 KB/cache, L3
+///   2 MB), 30 k references per thread. Minutes for the full suite.
+/// * `full` — the paper's geometry (Table 3), 200 k references per
+///   thread. Use for final numbers.
+///
+/// Selected via the `CMPSIM_PROFILE` environment variable (`quick` /
+/// `full`), defaulting to `quick`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Profile {
+    /// Capacity divisor relative to the paper system.
+    pub scale_factor: u64,
+    /// References per thread per run.
+    pub refs_per_thread: u64,
+    /// Independent workload seeds per data point (figure sweeps report
+    /// the mean across seeds). Default 1; set `CMPSIM_SEEDS` to raise.
+    pub seeds: u64,
+}
+
+impl Profile {
+    /// The quick profile.
+    pub fn quick() -> Self {
+        Profile {
+            scale_factor: 8,
+            refs_per_thread: 30_000,
+            seeds: 1,
+        }
+    }
+
+    /// The paper-scale profile.
+    pub fn full() -> Self {
+        Profile {
+            scale_factor: 1,
+            refs_per_thread: 200_000,
+            seeds: 1,
+        }
+    }
+
+    /// Reads `CMPSIM_PROFILE` (default: quick) and `CMPSIM_SEEDS`.
+    pub fn from_env() -> Self {
+        let mut p = match std::env::var("CMPSIM_PROFILE").as_deref() {
+            Ok("full") => Self::full(),
+            _ => Self::quick(),
+        };
+        if let Ok(s) = std::env::var("CMPSIM_SEEDS") {
+            if let Ok(n) = s.parse::<u64>() {
+                p.seeds = n.clamp(1, 32);
+            }
+        }
+        p
+    }
+
+    /// Base system configuration at this profile's scale.
+    pub fn config(&self) -> SystemConfig {
+        if self.scale_factor == 1 {
+            SystemConfig::paper()
+        } else {
+            SystemConfig::scaled(self.scale_factor)
+        }
+    }
+
+    /// Retry-switch window scaled with the profile (runs are shorter at
+    /// smaller scales, so the observation window shrinks too).
+    pub fn retry_switch(&self) -> RetrySwitchConfig {
+        RetrySwitchConfig::scaled(self.scale_factor)
+    }
+
+    /// A run spec for this profile with the given configuration and
+    /// workload.
+    pub fn spec(&self, config: SystemConfig, workload: cmpsim_trace::Workload) -> RunSpec {
+        let mut spec = RunSpec::for_workload(config, workload, self.refs_per_thread);
+        spec.retry_switch = Some(self.retry_switch());
+        spec
+    }
+
+    /// Scales an absolute table-entry count to this profile (32 K
+    /// entries in the paper becomes 4 K at scale 8), with a floor that
+    /// keeps tables non-degenerate.
+    pub fn table_entries(&self, paper_entries: u64) -> u64 {
+        (paper_entries / self.scale_factor).max(256)
+    }
+}
+
+/// Runs several simulations in parallel (one OS thread each),
+/// preserving input order in the results.
+///
+/// Simulations are deterministic and independent; parallelism only
+/// shortens wall-clock time.
+///
+/// # Panics
+///
+/// Panics if any simulation fails to build (invalid config/workload) —
+/// experiment specs are constructed from validated profiles.
+pub fn parallel_runs(specs: Vec<RunSpec>) -> Vec<RunReport> {
+    let n = specs.len();
+    let mut out: Vec<Option<RunReport>> = (0..n).map(|_| None).collect();
+    // Bound concurrency to the machine.
+    let max_par = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+    let specs: Vec<(usize, RunSpec)> = specs.into_iter().enumerate().collect();
+    for chunk in specs.chunks(max_par) {
+        let handles: Vec<_> = chunk
+            .iter()
+            .cloned()
+            .map(|(idx, spec)| {
+                std::thread::spawn(move || (idx, cmp_adaptive_wb::run(spec).expect("valid spec")))
+            })
+            .collect();
+        for h in handles {
+            let (idx, report) = h.join().expect("simulation thread panicked");
+            out[idx] = Some(report);
+        }
+    }
+    out.into_iter().map(|r| r.expect("all runs joined")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmpsim_trace::Workload;
+
+    #[test]
+    fn profiles_scale() {
+        let q = Profile::quick();
+        let f = Profile::full();
+        assert_eq!(q.seeds, 1);
+        assert!(q.scale_factor > f.scale_factor);
+        assert_eq!(q.table_entries(32 * 1024), 4096);
+        assert_eq!(f.table_entries(32 * 1024), 32 * 1024);
+        assert_eq!(q.table_entries(512), 256); // floor
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let p = Profile {
+            scale_factor: 16,
+            refs_per_thread: 400,
+            seeds: 1,
+        };
+        let spec = p.spec(p.config(), Workload::Cpw2);
+        let serial = cmp_adaptive_wb::run(spec.clone()).unwrap();
+        let par = parallel_runs(vec![spec.clone(), spec]);
+        assert_eq!(par[0].stats.cycles, serial.stats.cycles);
+        assert_eq!(par[1].stats.cycles, serial.stats.cycles);
+    }
+}

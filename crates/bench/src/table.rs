@@ -1,0 +1,109 @@
+//! Plain-text table formatting for experiment output.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use cmpsim_bench::Table;
+///
+/// let mut t = Table::new(vec!["Workload".into(), "Value".into()]);
+/// t.row(vec!["TP".into(), "42.1%".into()]);
+/// let s = t.render();
+/// assert!(s.contains("TP"));
+/// assert!(s.contains("Value"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a header row.
+    pub fn new(header: Vec<String>) -> Self {
+        Table {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row (padded/truncated to the header width).
+    pub fn row(&mut self, mut cells: Vec<String>) {
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (c, cell) in r.iter().enumerate().take(cols) {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |cells: &[String], out: &mut String| {
+            for (c, cell) in cells.iter().enumerate().take(cols) {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{:<width$}", cell, width = widths[c]);
+            }
+            // Trim trailing spaces for clean diffs.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            write_row(r, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(vec!["A".into(), "Long header".into()]);
+        t.row(vec!["row-one-is-long".into(), "1".into()]);
+        t.row(vec!["x".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Column 2 starts at the same offset in all data lines.
+        let off = lines[2].find('1').unwrap();
+        assert_eq!(lines[3].rfind("22").unwrap(), off);
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = Table::new(vec!["A".into(), "B".into(), "C".into()]);
+        t.row(vec!["only-one".into()]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        let s = t.render();
+        assert!(s.contains("only-one"));
+    }
+}

@@ -1,0 +1,290 @@
+//! Cache geometry math and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::LineAddr;
+
+/// Errors from invalid cache geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeometryError {
+    /// A parameter that must be a power of two is not.
+    NotPowerOfTwo(&'static str, u64),
+    /// A parameter is zero.
+    Zero(&'static str),
+    /// Capacity is not divisible into `assoc`-way sets.
+    Indivisible {
+        /// Total number of lines.
+        lines: u64,
+        /// Requested associativity.
+        assoc: u64,
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::NotPowerOfTwo(what, v) => {
+                write!(f, "{what} must be a power of two, got {v}")
+            }
+            GeometryError::Zero(what) => write!(f, "{what} must be nonzero"),
+            GeometryError::Indivisible { lines, assoc } => {
+                write!(f, "{lines} lines not divisible into {assoc}-way sets")
+            }
+        }
+    }
+}
+
+impl Error for GeometryError {}
+
+/// Geometry of one set-associative cache (or cache slice).
+///
+/// # Example
+///
+/// ```
+/// use cmpsim_cache::CacheGeometry;
+///
+/// let g = CacheGeometry::new(512 * 1024, 8, 128)?; // one L2 slice
+/// assert_eq!(g.num_sets(), 512);
+/// assert_eq!(g.num_lines(), 4096);
+/// # Ok::<(), cmpsim_cache::GeometryError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    size_bytes: u64,
+    assoc: u64,
+    line_bytes: u64,
+    num_sets: u64,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry from total size, associativity and line size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] when a parameter is zero, size or line
+    /// size is not a power of two, or the line count is not divisible
+    /// into `assoc`-way sets with a power-of-two set count.
+    pub fn new(size_bytes: u64, assoc: u64, line_bytes: u64) -> Result<Self, GeometryError> {
+        if size_bytes == 0 {
+            return Err(GeometryError::Zero("size_bytes"));
+        }
+        if assoc == 0 {
+            return Err(GeometryError::Zero("assoc"));
+        }
+        if line_bytes == 0 {
+            return Err(GeometryError::Zero("line_bytes"));
+        }
+        if !size_bytes.is_power_of_two() {
+            return Err(GeometryError::NotPowerOfTwo("size_bytes", size_bytes));
+        }
+        if !line_bytes.is_power_of_two() {
+            return Err(GeometryError::NotPowerOfTwo("line_bytes", line_bytes));
+        }
+        let lines = size_bytes / line_bytes;
+        if lines == 0 || !lines.is_multiple_of(assoc) {
+            return Err(GeometryError::Indivisible { lines, assoc });
+        }
+        let num_sets = lines / assoc;
+        if !num_sets.is_power_of_two() {
+            return Err(GeometryError::NotPowerOfTwo("num_sets", num_sets));
+        }
+        Ok(CacheGeometry {
+            size_bytes,
+            assoc,
+            line_bytes,
+            num_sets,
+        })
+    }
+
+    /// Creates a geometry directly from a line *count* and associativity
+    /// (used by history tables, which store tags only).
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`CacheGeometry::new`].
+    pub fn from_entries(entries: u64, assoc: u64, line_bytes: u64) -> Result<Self, GeometryError> {
+        if entries == 0 {
+            return Err(GeometryError::Zero("entries"));
+        }
+        Self::new(entries * line_bytes, assoc, line_bytes)
+    }
+
+    /// Total capacity in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Associativity (ways per set).
+    pub fn assoc(&self) -> u64 {
+        self.assoc
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        self.num_sets
+    }
+
+    /// Total number of lines (sets × ways).
+    pub fn num_lines(&self) -> u64 {
+        self.num_sets * self.assoc
+    }
+
+    /// Set index for a line address.
+    pub fn set_of(&self, line: LineAddr) -> u64 {
+        line.raw() & (self.num_sets - 1)
+    }
+}
+
+/// Geometry of a sliced cache: `slices` independent [`CacheGeometry`]s
+/// with addresses statically interleaved across slices at line
+/// granularity, as in the modelled CMP (each L2 and the L3 have 4 slices).
+///
+/// # Example
+///
+/// ```
+/// use cmpsim_cache::{SlicedGeometry, LineAddr};
+///
+/// let g = SlicedGeometry::new(4, 512 * 1024, 8, 128)?;
+/// assert_eq!(g.slice_of(LineAddr::new(6)), 2);
+/// assert_eq!(g.total_bytes(), 2 * 1024 * 1024);
+/// # Ok::<(), cmpsim_cache::GeometryError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlicedGeometry {
+    slices: u64,
+    per_slice: CacheGeometry,
+}
+
+impl SlicedGeometry {
+    /// Creates a sliced geometry: `slices` slices, each of
+    /// `slice_bytes` / `assoc` / `line_bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] when the per-slice geometry is invalid or
+    /// `slices` is not a nonzero power of two.
+    pub fn new(
+        slices: u64,
+        slice_bytes: u64,
+        assoc: u64,
+        line_bytes: u64,
+    ) -> Result<Self, GeometryError> {
+        if slices == 0 {
+            return Err(GeometryError::Zero("slices"));
+        }
+        if !slices.is_power_of_two() {
+            return Err(GeometryError::NotPowerOfTwo("slices", slices));
+        }
+        Ok(SlicedGeometry {
+            slices,
+            per_slice: CacheGeometry::new(slice_bytes, assoc, line_bytes)?,
+        })
+    }
+
+    /// Number of slices.
+    pub fn slices(&self) -> u64 {
+        self.slices
+    }
+
+    /// Geometry of one slice.
+    pub fn per_slice(&self) -> CacheGeometry {
+        self.per_slice
+    }
+
+    /// Total capacity across slices.
+    pub fn total_bytes(&self) -> u64 {
+        self.slices * self.per_slice.size_bytes()
+    }
+
+    /// Which slice a line maps to (low line-address bits).
+    pub fn slice_of(&self, line: LineAddr) -> u64 {
+        line.raw() & (self.slices - 1)
+    }
+
+    /// The line address as seen *within* its slice (slice bits stripped),
+    /// used for set indexing inside the slice.
+    pub fn slice_local(&self, line: LineAddr) -> LineAddr {
+        LineAddr::new(line.raw() >> self.slices.trailing_zeros())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_slice_geometry() {
+        // Paper: L2 slice = 512 KB, 8-way, 128 B lines.
+        let g = CacheGeometry::new(512 * 1024, 8, 128).unwrap();
+        assert_eq!(g.num_lines(), 4096);
+        assert_eq!(g.num_sets(), 512);
+        assert_eq!(g.assoc(), 8);
+    }
+
+    #[test]
+    fn l3_slice_geometry() {
+        // Paper: L3 slice = 4 MB, 16-way, 128 B lines.
+        let g = CacheGeometry::new(4 * 1024 * 1024, 16, 128).unwrap();
+        assert_eq!(g.num_lines(), 32768);
+        assert_eq!(g.num_sets(), 2048);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(matches!(
+            CacheGeometry::new(0, 8, 128),
+            Err(GeometryError::Zero("size_bytes"))
+        ));
+        assert!(matches!(
+            CacheGeometry::new(1024, 0, 128),
+            Err(GeometryError::Zero("assoc"))
+        ));
+        assert!(matches!(
+            CacheGeometry::new(1000, 8, 128),
+            Err(GeometryError::NotPowerOfTwo("size_bytes", 1000))
+        ));
+        assert!(matches!(
+            CacheGeometry::new(1024, 128, 128), // 8 lines, 128-way impossible
+            Err(GeometryError::Indivisible { .. })
+        ));
+    }
+
+    #[test]
+    fn set_mapping_wraps() {
+        let g = CacheGeometry::new(1024, 2, 128).unwrap(); // 8 lines, 4 sets
+        assert_eq!(g.num_sets(), 4);
+        assert_eq!(g.set_of(LineAddr::new(0)), 0);
+        assert_eq!(g.set_of(LineAddr::new(5)), 1);
+        assert_eq!(g.set_of(LineAddr::new(7)), 3);
+    }
+
+    #[test]
+    fn slice_interleaving() {
+        let g = SlicedGeometry::new(4, 1024, 2, 128).unwrap();
+        for i in 0..16 {
+            assert_eq!(g.slice_of(LineAddr::new(i)), i % 4);
+        }
+        assert_eq!(g.slice_local(LineAddr::new(13)).raw(), 3);
+        assert_eq!(g.total_bytes(), 4096);
+    }
+
+    #[test]
+    fn from_entries_history_table() {
+        // Paper WBHT: 32K entries, 16-way.
+        let g = CacheGeometry::from_entries(32 * 1024, 16, 128).unwrap();
+        assert_eq!(g.num_lines(), 32 * 1024);
+        assert_eq!(g.num_sets(), 2048);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let e = CacheGeometry::new(1000, 8, 128).unwrap_err();
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,222 @@
+//! Miss-status holding registers (MSHRs).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::LineAddr;
+
+/// Identifier of an allocated MSHR entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MshrId(usize);
+
+impl MshrId {
+    /// Raw index (for logging).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Errors from MSHR allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrError {
+    /// All MSHRs are in use; the miss must stall.
+    Full,
+}
+
+impl fmt::Display for MshrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MshrError::Full => f.write_str("all MSHRs in use"),
+        }
+    }
+}
+
+impl Error for MshrError {}
+
+#[derive(Debug, Clone)]
+struct Entry<W> {
+    line: LineAddr,
+    waiters: Vec<W>,
+}
+
+/// A file of miss-status holding registers with secondary-miss merging.
+///
+/// A *primary* miss allocates an entry and triggers a bus request; a
+/// *secondary* miss to the same line merges into the existing entry and
+/// waits for the same fill. `W` is the waiter token type (thread ids in
+/// this simulator).
+///
+/// # Example
+///
+/// ```
+/// use cmpsim_cache::{MshrFile, LineAddr};
+///
+/// let mut mshrs: MshrFile<u32> = MshrFile::new(4);
+/// let line = LineAddr::new(7);
+/// assert!(mshrs.allocate(line, 0).unwrap()); // primary
+/// assert!(!mshrs.allocate(line, 1).unwrap()); // secondary, merged
+/// let waiters = mshrs.complete(line).unwrap();
+/// assert_eq!(waiters, vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile<W> {
+    capacity: usize,
+    entries: HashMap<LineAddr, Entry<W>>,
+    /// Highest simultaneous occupancy seen (for sizing studies).
+    high_water: usize,
+    primary: u64,
+    secondary: u64,
+    stalls: u64,
+}
+
+impl<W> MshrFile<W> {
+    /// Creates a file with `capacity` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR file must have at least one register");
+        MshrFile {
+            capacity,
+            entries: HashMap::new(),
+            high_water: 0,
+            primary: 0,
+            secondary: 0,
+            stalls: 0,
+        }
+    }
+
+    /// Registers a miss on `line` by `waiter`.
+    ///
+    /// Returns `Ok(true)` for a primary miss (caller must issue the bus
+    /// request), `Ok(false)` for a merged secondary miss.
+    ///
+    /// # Errors
+    ///
+    /// [`MshrError::Full`] when the miss would need a new register and
+    /// none is free: the cache must stall the request.
+    pub fn allocate(&mut self, line: LineAddr, waiter: W) -> Result<bool, MshrError> {
+        if let Some(e) = self.entries.get_mut(&line) {
+            e.waiters.push(waiter);
+            self.secondary += 1;
+            return Ok(false);
+        }
+        if self.entries.len() >= self.capacity {
+            self.stalls += 1;
+            return Err(MshrError::Full);
+        }
+        self.entries.insert(
+            line,
+            Entry {
+                line,
+                waiters: vec![waiter],
+            },
+        );
+        self.high_water = self.high_water.max(self.entries.len());
+        self.primary += 1;
+        Ok(true)
+    }
+
+    /// Completes the miss on `line`, returning all merged waiters.
+    ///
+    /// Returns `None` when no MSHR is outstanding for the line.
+    pub fn complete(&mut self, line: LineAddr) -> Option<Vec<W>> {
+        self.entries.remove(&line).map(|e| {
+            debug_assert_eq!(e.line, line);
+            e.waiters
+        })
+    }
+
+    /// `true` when a miss on `line` is already outstanding.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.entries.contains_key(&line)
+    }
+
+    /// Number of registers currently in use.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no registers are in use.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Register capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Highest simultaneous occupancy observed.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// (primary, secondary, stall) counts.
+    pub fn counts(&self) -> (u64, u64, u64) {
+        (self.primary, self.secondary, self.stalls)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_then_secondary() {
+        let mut m: MshrFile<u32> = MshrFile::new(2);
+        assert_eq!(m.allocate(LineAddr::new(1), 10), Ok(true));
+        assert_eq!(m.allocate(LineAddr::new(1), 11), Ok(false));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.complete(LineAddr::new(1)), Some(vec![10, 11]));
+        assert!(m.is_empty());
+        assert_eq!(m.counts(), (1, 1, 0));
+    }
+
+    #[test]
+    fn full_file_stalls() {
+        let mut m: MshrFile<u32> = MshrFile::new(2);
+        m.allocate(LineAddr::new(1), 0).unwrap();
+        m.allocate(LineAddr::new(2), 0).unwrap();
+        assert_eq!(m.allocate(LineAddr::new(3), 0), Err(MshrError::Full));
+        // Secondary to an existing line still merges even when full.
+        assert_eq!(m.allocate(LineAddr::new(2), 1), Ok(false));
+        assert_eq!(m.counts().2, 1);
+    }
+
+    #[test]
+    fn complete_unknown_is_none() {
+        let mut m: MshrFile<u32> = MshrFile::new(2);
+        assert_eq!(m.complete(LineAddr::new(9)), None);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut m: MshrFile<u32> = MshrFile::new(4);
+        m.allocate(LineAddr::new(1), 0).unwrap();
+        m.allocate(LineAddr::new(2), 0).unwrap();
+        m.allocate(LineAddr::new(3), 0).unwrap();
+        m.complete(LineAddr::new(1));
+        m.complete(LineAddr::new(2));
+        assert_eq!(m.high_water(), 3);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn contains_reflects_outstanding() {
+        let mut m: MshrFile<u32> = MshrFile::new(2);
+        assert!(!m.contains(LineAddr::new(5)));
+        m.allocate(LineAddr::new(5), 0).unwrap();
+        assert!(m.contains(LineAddr::new(5)));
+        m.complete(LineAddr::new(5));
+        assert!(!m.contains(LineAddr::new(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one register")]
+    fn zero_capacity_panics() {
+        let _m: MshrFile<u32> = MshrFile::new(0);
+    }
+}

@@ -1,0 +1,578 @@
+//! Set-associative tag array generic over a per-line state payload.
+
+use cmpsim_engine::SplitMix64;
+
+use crate::{CacheGeometry, LineAddr, ReplacementPolicy};
+
+/// Index of a way within a set.
+pub type WayIdx = usize;
+
+/// Where a newly inserted line lands in the recency stack.
+///
+/// Demand fills insert at [`Mru`](InsertPosition::Mru); the snarf
+/// mechanism's insertion position is a tunable (§3 of the paper discusses
+/// managing recipient LRU state to keep snarfed lines resident until
+/// reuse).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum InsertPosition {
+    /// Most recently used — maximum residency.
+    #[default]
+    Mru,
+    /// Halfway down the recency stack.
+    Mid,
+    /// Least recently used — first out.
+    Lru,
+}
+
+/// A line evicted by [`TagArray::insert`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted<S> {
+    /// The victim's line address.
+    pub line: LineAddr,
+    /// The victim's state payload at eviction time.
+    pub state: S,
+}
+
+#[derive(Debug, Clone)]
+struct Way<S> {
+    tag: u64,
+    valid: bool,
+    state: S,
+    stamp: u64,
+}
+
+/// A set-associative tag array.
+///
+/// Generic over the per-line state payload `S` (a coherence state in the
+/// L2/L3 models, a use-bit in the snarf table, `()` in the WBHT), so all
+/// tag storage in the simulator shares one well-tested implementation.
+///
+/// # Example
+///
+/// ```
+/// use cmpsim_cache::{CacheGeometry, TagArray, ReplacementPolicy, LineAddr, InsertPosition};
+///
+/// let geom = CacheGeometry::new(1024, 2, 128)?; // 4 sets x 2 ways
+/// let mut t: TagArray<char> = TagArray::new(geom, ReplacementPolicy::Lru);
+/// t.insert(LineAddr::new(0), 'a', InsertPosition::Mru);
+/// t.insert(LineAddr::new(4), 'b', InsertPosition::Mru); // same set
+/// let ev = t.insert(LineAddr::new(8), 'c', InsertPosition::Mru).unwrap();
+/// assert_eq!(ev.line, LineAddr::new(0)); // LRU victim
+/// # Ok::<(), cmpsim_cache::GeometryError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TagArray<S> {
+    geom: CacheGeometry,
+    policy: ReplacementPolicy,
+    ways: Vec<Way<S>>,
+    plru: Vec<u64>,
+    stamp: u64,
+    rng: SplitMix64,
+    valid_count: u64,
+}
+
+impl<S: Copy + Default> TagArray<S> {
+    /// Creates an empty tag array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policy` is [`ReplacementPolicy::TreePlru`] and the
+    /// associativity is not a power of two.
+    pub fn new(geom: CacheGeometry, policy: ReplacementPolicy) -> Self {
+        if policy == ReplacementPolicy::TreePlru {
+            assert!(
+                geom.assoc().is_power_of_two(),
+                "tree-PLRU requires power-of-two associativity"
+            );
+        }
+        let n = geom.num_lines() as usize;
+        TagArray {
+            geom,
+            policy,
+            ways: vec![
+                Way {
+                    tag: 0,
+                    valid: false,
+                    state: S::default(),
+                    stamp: 0,
+                };
+                n
+            ],
+            plru: vec![0; geom.num_sets() as usize],
+            stamp: 0,
+            rng: SplitMix64::new(0xCAFE_F00D),
+            valid_count: 0,
+        }
+    }
+
+    /// The geometry this array was built with.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    /// The replacement policy in force.
+    pub fn policy(&self) -> ReplacementPolicy {
+        self.policy
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn valid_lines(&self) -> u64 {
+        self.valid_count
+    }
+
+    fn set_range(&self, line: LineAddr) -> std::ops::Range<usize> {
+        let set = self.geom.set_of(line) as usize;
+        let a = self.geom.assoc() as usize;
+        set * a..(set + 1) * a
+    }
+
+    /// Looks up a line without updating recency. Returns the way and a
+    /// reference to its state when present.
+    pub fn probe(&self, line: LineAddr) -> Option<(WayIdx, &S)> {
+        let range = self.set_range(line);
+        let base = range.start;
+        self.ways[range]
+            .iter()
+            .enumerate()
+            .find(|(_, w)| w.valid && w.tag == line.raw())
+            .map(|(i, w)| (base + i, &w.state))
+    }
+
+    /// Looks up a line without updating recency, returning a mutable
+    /// state reference (e.g. for coherence state transitions on snoops).
+    pub fn probe_mut(&mut self, line: LineAddr) -> Option<(WayIdx, &mut S)> {
+        let range = self.set_range(line);
+        let base = range.start;
+        self.ways[range]
+            .iter_mut()
+            .enumerate()
+            .find(|(_, w)| w.valid && w.tag == line.raw())
+            .map(|(i, w)| (base + i, &mut w.state))
+    }
+
+    /// Marks a line as just-used (hit path). Returns `false` if absent.
+    pub fn touch(&mut self, line: LineAddr) -> bool {
+        let Some((way, _)) = self.probe(line) else {
+            return false;
+        };
+        self.promote(line, way);
+        true
+    }
+
+    fn promote(&mut self, line: LineAddr, way: WayIdx) {
+        self.stamp += 1;
+        self.ways[way].stamp = self.stamp;
+        if self.policy == ReplacementPolicy::TreePlru {
+            let set = self.geom.set_of(line) as usize;
+            let local = way - self.set_range(line).start;
+            self.plru_touch(set, local);
+        }
+    }
+
+    /// Inserts a line, evicting a victim when the set is full.
+    ///
+    /// Returns the evicted line, if any. The victim is an invalid way when
+    /// one exists, otherwise chosen by the replacement policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the line is already present — callers must
+    /// [`probe`](Self::probe) first and update state in place on a hit.
+    pub fn insert(&mut self, line: LineAddr, state: S, pos: InsertPosition) -> Option<Evicted<S>> {
+        debug_assert!(
+            self.probe(line).is_none(),
+            "insert of already-present line {line}"
+        );
+        let way = match self.invalid_way(line) {
+            Some(w) => w,
+            None => self.victim_way(line),
+        };
+        self.fill_way(line, way, state, pos)
+    }
+
+    /// Inserts a line into a *specific* way (used by the snarf mechanism,
+    /// which picks its own victim with state preferences).
+    ///
+    /// Returns the previous occupant, if any.
+    pub fn insert_into(
+        &mut self,
+        line: LineAddr,
+        way: WayIdx,
+        state: S,
+        pos: InsertPosition,
+    ) -> Option<Evicted<S>> {
+        debug_assert!(self.set_range(line).contains(&way), "way not in line's set");
+        self.fill_way(line, way, state, pos)
+    }
+
+    fn fill_way(
+        &mut self,
+        line: LineAddr,
+        way: WayIdx,
+        state: S,
+        pos: InsertPosition,
+    ) -> Option<Evicted<S>> {
+        let evicted = if self.ways[way].valid {
+            Some(Evicted {
+                line: LineAddr::new(self.ways[way].tag),
+                state: self.ways[way].state,
+            })
+        } else {
+            self.valid_count += 1;
+            None
+        };
+        let stamp = self.stamp_for(line, pos);
+        let w = &mut self.ways[way];
+        w.tag = line.raw();
+        w.valid = true;
+        w.state = state;
+        w.stamp = stamp;
+        if self.policy == ReplacementPolicy::TreePlru && pos == InsertPosition::Mru {
+            let set = self.geom.set_of(line) as usize;
+            let local = way - self.set_range(line).start;
+            self.plru_touch(set, local);
+        }
+        evicted
+    }
+
+    fn stamp_for(&mut self, line: LineAddr, pos: InsertPosition) -> u64 {
+        match pos {
+            InsertPosition::Mru => {
+                self.stamp += 1;
+                self.stamp
+            }
+            InsertPosition::Lru => {
+                let range = self.set_range(line);
+                self.ways[range]
+                    .iter()
+                    .filter(|w| w.valid)
+                    .map(|w| w.stamp)
+                    .min()
+                    .map_or(0, |m| m.saturating_sub(1))
+            }
+            InsertPosition::Mid => {
+                let range = self.set_range(line);
+                let (mut lo, mut hi) = (u64::MAX, 0u64);
+                let mut any = false;
+                for w in &self.ways[range] {
+                    if w.valid {
+                        lo = lo.min(w.stamp);
+                        hi = hi.max(w.stamp);
+                        any = true;
+                    }
+                }
+                if any {
+                    lo / 2 + hi / 2
+                } else {
+                    self.stamp += 1;
+                    self.stamp
+                }
+            }
+        }
+    }
+
+    /// First invalid way in the line's set, if any.
+    pub fn invalid_way(&self, line: LineAddr) -> Option<WayIdx> {
+        let range = self.set_range(line);
+        let base = range.start;
+        self.ways[range]
+            .iter()
+            .position(|w| !w.valid)
+            .map(|i| base + i)
+    }
+
+    /// The way the replacement policy would victimize in this line's set
+    /// (assumes the set has at least one valid way; invalid ways are
+    /// preferred by [`insert`](Self::insert) before this is consulted).
+    pub fn victim_way(&mut self, line: LineAddr) -> WayIdx {
+        let range = self.set_range(line);
+        let base = range.start;
+        match self.policy {
+            ReplacementPolicy::Lru => {
+                let mut best = base;
+                let mut best_stamp = u64::MAX;
+                for (i, w) in self.ways[range].iter().enumerate() {
+                    if w.stamp < best_stamp {
+                        best_stamp = w.stamp;
+                        best = base + i;
+                    }
+                }
+                best
+            }
+            ReplacementPolicy::TreePlru => {
+                let set = self.geom.set_of(line) as usize;
+                base + self.plru_victim(set)
+            }
+            ReplacementPolicy::Random => {
+                base + self.rng.gen_range(self.geom.assoc()) as usize
+            }
+        }
+    }
+
+    /// Finds the best victim way among valid ways whose state satisfies
+    /// `pred`, preferring the least recently used. Returns `None` when no
+    /// way qualifies. Invalid ways are *not* returned — use
+    /// [`invalid_way`](Self::invalid_way) first.
+    ///
+    /// This implements the snarf victim policy of §3: the caller first
+    /// asks for an invalid way, then for the LRU way in `Shared` state.
+    pub fn victim_way_by(&self, line: LineAddr, pred: impl Fn(&S) -> bool) -> Option<WayIdx> {
+        let range = self.set_range(line);
+        let base = range.start;
+        self.ways[range]
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.valid && pred(&w.state))
+            .min_by_key(|(i, w)| (w.stamp, *i))
+            .map(|(i, _)| base + i)
+    }
+
+    /// The `k` least-recently-used valid ways in the line's set, most
+    /// evictable first. Used by cost-aware replacement policies that
+    /// re-rank the LRU tail (e.g. preferring victims known to be cheap
+    /// to re-fetch). Returns fewer than `k` entries when the set has
+    /// fewer valid ways.
+    pub fn victim_candidates(&self, line: LineAddr, k: usize) -> Vec<(WayIdx, LineAddr)> {
+        let range = self.set_range(line);
+        let base = range.start;
+        let mut ways: Vec<(u64, WayIdx, LineAddr)> = self.ways[range]
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.valid)
+            .map(|(i, w)| (w.stamp, base + i, LineAddr::new(w.tag)))
+            .collect();
+        ways.sort_unstable_by_key(|&(stamp, i, _)| (stamp, i));
+        ways.truncate(k);
+        ways.into_iter().map(|(_, i, l)| (i, l)).collect()
+    }
+
+    /// Removes a line, returning its state if it was present.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<S> {
+        let range = self.set_range(line);
+        for w in &mut self.ways[range] {
+            if w.valid && w.tag == line.raw() {
+                w.valid = false;
+                self.valid_count -= 1;
+                return Some(w.state);
+            }
+        }
+        None
+    }
+
+    /// The line currently occupying `way`, if valid.
+    pub fn line_at(&self, way: WayIdx) -> Option<(LineAddr, &S)> {
+        let w = &self.ways[way];
+        w.valid.then(|| (LineAddr::new(w.tag), &w.state))
+    }
+
+    /// Iterates over all valid lines (for verification and debug dumps).
+    pub fn iter_valid(&self) -> impl Iterator<Item = (LineAddr, &S)> + '_ {
+        self.ways
+            .iter()
+            .filter(|w| w.valid)
+            .map(|w| (LineAddr::new(w.tag), &w.state))
+    }
+
+    // --- tree-PLRU helpers -------------------------------------------------
+
+    fn plru_touch(&mut self, set: usize, way: usize) {
+        let assoc = self.geom.assoc() as usize;
+        let bits = &mut self.plru[set];
+        let mut node = 0usize; // root at index 0; internal nodes: assoc-1
+        let mut lo = 0usize;
+        let mut hi = assoc;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if way < mid {
+                // went left: point victim bit right (1)
+                *bits |= 1 << node;
+                node = 2 * node + 1;
+                hi = mid;
+            } else {
+                *bits &= !(1 << node);
+                node = 2 * node + 2;
+                lo = mid;
+            }
+        }
+    }
+
+    fn plru_victim(&self, set: usize) -> usize {
+        let assoc = self.geom.assoc() as usize;
+        let bits = self.plru[set];
+        let mut node = 0usize;
+        let mut lo = 0usize;
+        let mut hi = assoc;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if bits & (1 << node) != 0 {
+                // victim bit points right
+                node = 2 * node + 2;
+                lo = mid;
+            } else {
+                node = 2 * node + 1;
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TagArray<u8> {
+        // 4 sets x 2 ways, 128 B lines.
+        TagArray::new(
+            CacheGeometry::new(1024, 2, 128).unwrap(),
+            ReplacementPolicy::Lru,
+        )
+    }
+
+    #[test]
+    fn probe_miss_then_hit() {
+        let mut t = small();
+        let l = LineAddr::new(12);
+        assert!(t.probe(l).is_none());
+        t.insert(l, 7, InsertPosition::Mru);
+        assert_eq!(t.probe(l), Some((t.probe(l).unwrap().0, &7)));
+        assert_eq!(t.valid_lines(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut t = small();
+        // Set 0 holds lines 0, 4, 8, ...
+        t.insert(LineAddr::new(0), 1, InsertPosition::Mru);
+        t.insert(LineAddr::new(4), 2, InsertPosition::Mru);
+        t.touch(LineAddr::new(0)); // 4 is now LRU
+        let ev = t.insert(LineAddr::new(8), 3, InsertPosition::Mru).unwrap();
+        assert_eq!(ev.line, LineAddr::new(4));
+        assert_eq!(ev.state, 2);
+        assert!(t.probe(LineAddr::new(0)).is_some());
+    }
+
+    #[test]
+    fn lru_insert_position_lru_is_first_victim() {
+        let mut t = small();
+        t.insert(LineAddr::new(0), 1, InsertPosition::Mru);
+        t.insert(LineAddr::new(4), 2, InsertPosition::Lru); // parked at LRU
+        let ev = t.insert(LineAddr::new(8), 3, InsertPosition::Mru).unwrap();
+        assert_eq!(ev.line, LineAddr::new(4));
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut t = small();
+        t.insert(LineAddr::new(0), 9, InsertPosition::Mru);
+        assert_eq!(t.invalidate(LineAddr::new(0)), Some(9));
+        assert_eq!(t.invalidate(LineAddr::new(0)), None);
+        assert_eq!(t.valid_lines(), 0);
+    }
+
+    #[test]
+    fn probe_mut_updates_state() {
+        let mut t = small();
+        t.insert(LineAddr::new(0), 1, InsertPosition::Mru);
+        if let Some((_, s)) = t.probe_mut(LineAddr::new(0)) {
+            *s = 42;
+        }
+        assert_eq!(*t.probe(LineAddr::new(0)).unwrap().1, 42);
+    }
+
+    #[test]
+    fn victim_way_by_prefers_lru_matching() {
+        let mut t = small();
+        t.insert(LineAddr::new(0), 10, InsertPosition::Mru);
+        t.insert(LineAddr::new(4), 20, InsertPosition::Mru);
+        // Only states >= 15 qualify.
+        let w = t.victim_way_by(LineAddr::new(8), |&s| s >= 15).unwrap();
+        assert_eq!(t.line_at(w).unwrap().0, LineAddr::new(4));
+        assert!(t.victim_way_by(LineAddr::new(8), |&s| s > 99).is_none());
+    }
+
+    #[test]
+    fn insert_into_specific_way() {
+        let mut t = small();
+        t.insert(LineAddr::new(0), 1, InsertPosition::Mru);
+        let w = t.probe(LineAddr::new(0)).unwrap().0;
+        let ev = t
+            .insert_into(LineAddr::new(8), w, 5, InsertPosition::Mid)
+            .unwrap();
+        assert_eq!(ev.line, LineAddr::new(0));
+        assert!(t.probe(LineAddr::new(8)).is_some());
+        assert!(t.probe(LineAddr::new(0)).is_none());
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut t = small();
+        for i in 0..4 {
+            assert!(t.insert(LineAddr::new(i), i as u8, InsertPosition::Mru).is_none());
+        }
+        assert_eq!(t.valid_lines(), 4);
+        assert_eq!(t.iter_valid().count(), 4);
+    }
+
+    #[test]
+    fn tree_plru_victimizes_untouched() {
+        let geom = CacheGeometry::new(2048, 4, 128).unwrap(); // 4 sets x 4 ways
+        let mut t: TagArray<u8> = TagArray::new(geom, ReplacementPolicy::TreePlru);
+        // Fill set 0: lines 0,4,8,12.
+        for (i, l) in [0u64, 4, 8, 12].iter().enumerate() {
+            t.insert(LineAddr::new(*l), i as u8, InsertPosition::Mru);
+        }
+        // Touch 0, 8, 4: the root bit last pointed away from way1 (line 4,
+        // left subtree) and the right subtree bit away from way2 (line 8),
+        // so tree-PLRU victimizes way3 = line 12.
+        t.touch(LineAddr::new(0));
+        t.touch(LineAddr::new(8));
+        t.touch(LineAddr::new(4));
+        let ev = t.insert(LineAddr::new(16), 9, InsertPosition::Mru).unwrap();
+        assert_eq!(ev.line, LineAddr::new(12));
+    }
+
+    #[test]
+    fn random_policy_deterministic() {
+        let geom = CacheGeometry::new(1024, 2, 128).unwrap();
+        let mut a: TagArray<u8> = TagArray::new(geom, ReplacementPolicy::Random);
+        let mut b: TagArray<u8> = TagArray::new(geom, ReplacementPolicy::Random);
+        for i in 0..20 {
+            let ea = a.insert(LineAddr::new(i * 4), 0, InsertPosition::Mru);
+            let eb = b.insert(LineAddr::new(i * 4), 0, InsertPosition::Mru);
+            assert_eq!(ea.map(|e| e.line), eb.map(|e| e.line));
+        }
+    }
+
+    #[test]
+    fn victim_candidates_ordered_by_recency() {
+        let geom = CacheGeometry::new(2048, 4, 128).unwrap();
+        let mut t: TagArray<u8> = TagArray::new(geom, ReplacementPolicy::Lru);
+        for (i, l) in [0u64, 4, 8, 12].iter().enumerate() {
+            t.insert(LineAddr::new(*l), i as u8, InsertPosition::Mru);
+        }
+        t.touch(LineAddr::new(0)); // 4 becomes the coldest
+        let c = t.victim_candidates(LineAddr::new(16), 2);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[0].1, LineAddr::new(4));
+        assert_eq!(c[1].1, LineAddr::new(8));
+        // k larger than valid ways is clipped.
+        assert_eq!(t.victim_candidates(LineAddr::new(16), 99).len(), 4);
+    }
+
+    #[test]
+    fn mid_insert_sits_between() {
+        let geom = CacheGeometry::new(2048, 4, 128).unwrap();
+        let mut t: TagArray<u8> = TagArray::new(geom, ReplacementPolicy::Lru);
+        t.insert(LineAddr::new(0), 0, InsertPosition::Mru);
+        t.insert(LineAddr::new(4), 1, InsertPosition::Mru);
+        t.insert(LineAddr::new(8), 2, InsertPosition::Mru);
+        // Mid insert: should be evicted before the MRU lines but after
+        // the oldest line is gone.
+        t.insert(LineAddr::new(12), 3, InsertPosition::Mid);
+        let ev1 = t.insert(LineAddr::new(16), 4, InsertPosition::Mru).unwrap();
+        assert_eq!(ev1.line, LineAddr::new(0)); // true LRU goes first
+        let ev2 = t.insert(LineAddr::new(20), 5, InsertPosition::Mru).unwrap();
+        assert_eq!(ev2.line, LineAddr::new(12)); // mid-inserted goes next
+    }
+}

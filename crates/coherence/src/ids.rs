@@ -1,0 +1,116 @@
+//! Identifiers for coherence agents and bus transactions.
+
+use std::fmt;
+
+/// Identifier of one of the L2 caches (each shared by a core pair).
+///
+/// # Example
+///
+/// ```
+/// use cmpsim_coherence::L2Id;
+///
+/// let ids: Vec<L2Id> = L2Id::all(4).collect();
+/// assert_eq!(ids.len(), 4);
+/// assert_eq!(ids[2].index(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct L2Id(u8);
+
+impl L2Id {
+    /// Creates an L2 id from an index.
+    pub const fn new(index: u8) -> Self {
+        L2Id(index)
+    }
+
+    /// Index of this L2 (0-based).
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterates over all L2 ids in a system with `count` L2 caches.
+    pub fn all(count: u8) -> impl Iterator<Item = L2Id> {
+        (0..count).map(L2Id)
+    }
+}
+
+impl fmt::Display for L2Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L2#{}", self.0)
+    }
+}
+
+/// A coherence agent on the intrachip ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AgentId {
+    /// An L2 cache (point of coherence).
+    L2(L2Id),
+    /// The L3 victim-cache controller.
+    L3,
+    /// The memory controller.
+    Memory,
+}
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AgentId::L2(id) => write!(f, "{id}"),
+            AgentId::L3 => f.write_str("L3"),
+            AgentId::Memory => f.write_str("MEM"),
+        }
+    }
+}
+
+/// A bus-transaction identifier (unique per simulation run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TxnId(u64);
+
+impl TxnId {
+    /// First id.
+    pub const ZERO: TxnId = TxnId(0);
+
+    /// Returns this id and internally advances to the next one.
+    pub fn bump(&mut self) -> TxnId {
+        let r = *self;
+        self.0 += 1;
+        r
+    }
+
+    /// Raw value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_ids_enumerate() {
+        let ids: Vec<_> = L2Id::all(3).collect();
+        assert_eq!(ids, vec![L2Id::new(0), L2Id::new(1), L2Id::new(2)]);
+    }
+
+    #[test]
+    fn txn_id_bumps() {
+        let mut t = TxnId::ZERO;
+        assert_eq!(t.bump().raw(), 0);
+        assert_eq!(t.bump().raw(), 1);
+        assert_eq!(t.raw(), 2);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(L2Id::new(1).to_string(), "L2#1");
+        assert_eq!(AgentId::L3.to_string(), "L3");
+        assert_eq!(AgentId::Memory.to_string(), "MEM");
+        assert_eq!(AgentId::L2(L2Id::new(0)).to_string(), "L2#0");
+        assert_eq!(TxnId::ZERO.to_string(), "txn0");
+    }
+}

@@ -1,0 +1,181 @@
+//! Bus transactions and snoop responses.
+
+use std::fmt;
+
+use cmpsim_cache::LineAddr;
+
+use crate::{L2Id, L3State, TxnId};
+
+/// The kind of an address-ring transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxnKind {
+    /// Load miss: read with intent to share.
+    ReadShared,
+    /// Store miss: read with intent to modify (all other copies die).
+    ReadExclusive,
+    /// Store hit on a shared copy: invalidate other copies, no data.
+    Upgrade,
+    /// Castout of a dirty victim (must be absorbed somewhere).
+    CastoutDirty,
+    /// Castout of a clean victim (performance hint only; paper §2).
+    CastoutClean,
+}
+
+impl TxnKind {
+    /// Is this a write-back style transaction?
+    pub fn is_castout(self) -> bool {
+        matches!(self, TxnKind::CastoutDirty | TxnKind::CastoutClean)
+    }
+
+    /// Does this transaction move a data line on the data ring (when not
+    /// squashed)?
+    pub fn moves_data(self) -> bool {
+        !matches!(self, TxnKind::Upgrade)
+    }
+}
+
+impl fmt::Display for TxnKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TxnKind::ReadShared => "read",
+            TxnKind::ReadExclusive => "rwitm",
+            TxnKind::Upgrade => "upgrade",
+            TxnKind::CastoutDirty => "castout-dirty",
+            TxnKind::CastoutClean => "castout-clean",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One address-ring transaction, as snooped by every agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusTxn {
+    /// Unique id for correlating snoop responses.
+    pub id: TxnId,
+    /// Transaction type.
+    pub kind: TxnKind,
+    /// The line concerned.
+    pub line: LineAddr,
+    /// The requesting L2.
+    pub src: L2Id,
+    /// Snarf-eligible bit: set by the source when its reuse table says
+    /// this castout line has high reuse potential ("a special bus
+    /// transaction bit is set to trigger the snarf algorithm at snooping
+    /// L2 caches", §3).
+    pub snarf_eligible: bool,
+}
+
+impl BusTxn {
+    /// Convenience constructor for a non-snarf transaction.
+    pub fn new(id: TxnId, kind: TxnKind, line: LineAddr, src: L2Id) -> Self {
+        BusTxn {
+            id,
+            kind,
+            line,
+            src,
+            snarf_eligible: false,
+        }
+    }
+
+    /// Returns a copy with the snarf-eligible bit set.
+    pub fn with_snarf(mut self) -> Self {
+        self.snarf_eligible = true;
+        self
+    }
+}
+
+impl fmt::Display for BusTxn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} from {}", self.id, self.kind, self.line, self.src)?;
+        if self.snarf_eligible {
+            f.write_str(" [snarf]")?;
+        }
+        Ok(())
+    }
+}
+
+/// One agent's snoop reply to a [`BusTxn`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnoopResponse {
+    /// No involvement (line absent, or nothing to contribute).
+    Null,
+    /// An L2 holds the line in a non-intervention shared state.
+    SharedNoIntervene(L2Id),
+    /// An L2 holds the line clean and can source an intervention
+    /// (`SL` or `E`).
+    CleanIntervene(L2Id),
+    /// An L2 holds the line dirty (`M`/`T`) and will source the data.
+    DirtyIntervene(L2Id),
+    /// An L2 cannot process the snoop right now (resource conflict);
+    /// the transaction must be retried.
+    L2Retry(L2Id),
+    /// The L3 has the line in the given state.
+    L3Hit(L3State),
+    /// The L3 does not have the line but can absorb a castout.
+    L3Accept,
+    /// The L3 does not have the line and has no castout to handle.
+    L3Miss,
+    /// The L3 has insufficient resources (incoming queue full):
+    /// retry the transaction (§2: "Lines may be rejected by the L3 if
+    /// there are not enough hardware resources").
+    L3Retry,
+    /// A peer L2 is willing to absorb (snarf) this castout (§3).
+    SnarfAccept(L2Id),
+    /// A peer L2 already holds a valid copy of the castout line, so the
+    /// write-back is useless: squash it (§5.2).
+    PeerHasCopy(L2Id),
+    /// Memory can always sink/source the line (on its dedicated path).
+    MemoryAck,
+}
+
+impl SnoopResponse {
+    /// Is this a retry-class response?
+    pub fn is_retry(self) -> bool {
+        matches!(self, SnoopResponse::L2Retry(_) | SnoopResponse::L3Retry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn castout_classification() {
+        assert!(TxnKind::CastoutClean.is_castout());
+        assert!(TxnKind::CastoutDirty.is_castout());
+        assert!(!TxnKind::ReadShared.is_castout());
+        assert!(!TxnKind::Upgrade.is_castout());
+    }
+
+    #[test]
+    fn data_movement() {
+        assert!(TxnKind::ReadShared.moves_data());
+        assert!(TxnKind::CastoutClean.moves_data());
+        assert!(!TxnKind::Upgrade.moves_data());
+    }
+
+    #[test]
+    fn snarf_bit() {
+        let t = BusTxn::new(TxnId::ZERO, TxnKind::CastoutClean, LineAddr::new(4), L2Id::new(1));
+        assert!(!t.snarf_eligible);
+        let t2 = t.with_snarf();
+        assert!(t2.snarf_eligible);
+        assert!(t2.to_string().contains("[snarf]"));
+    }
+
+    #[test]
+    fn retry_classification() {
+        assert!(SnoopResponse::L3Retry.is_retry());
+        assert!(SnoopResponse::L2Retry(L2Id::new(0)).is_retry());
+        assert!(!SnoopResponse::Null.is_retry());
+        assert!(!SnoopResponse::L3Hit(L3State::Clean).is_retry());
+    }
+
+    #[test]
+    fn txn_display() {
+        let t = BusTxn::new(TxnId::ZERO, TxnKind::ReadShared, LineAddr::new(4), L2Id::new(1));
+        let s = t.to_string();
+        assert!(s.contains("read"));
+        assert!(s.contains("L2#1"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Write-back management policies — the paper's contribution.
+//!
+//! Four policies are modelled, matching §5 of the paper:
+//!
+//! * [`PolicyConfig::Baseline`] — every victimized line (clean and
+//!   dirty) is written back toward the L3; the only filtering is the
+//!   L3's own squash of clean write-backs it already holds.
+//! * [`PolicyConfig::Wbht`] — adds the Write-Back History Table (§2):
+//!   clean write-backs predicted redundant are aborted before touching
+//!   the ring, gated by the retry-rate switch (§2.2).
+//! * [`PolicyConfig::Snarf`] — adds L2-to-L2 write-back absorption (§3)
+//!   driven by the reuse (snarf) table.
+//! * [`PolicyConfig::Combined`] — both, with half-sized tables to keep
+//!   total area constant (§5.3).
+
+mod retry_switch;
+mod snarf;
+mod wbht;
+
+pub use retry_switch::{RetrySwitch, RetrySwitchConfig};
+pub use snarf::{SnarfConfig, SnarfStats, SnarfTable};
+pub use wbht::{UpdateScope, Wbht, WbhtConfig, WbhtStats};
+
+/// Which write-back policy a simulation runs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum PolicyConfig {
+    /// All victimized lines are written back toward the L3.
+    #[default]
+    Baseline,
+    /// Selective clean write-backs via the WBHT.
+    Wbht(WbhtConfig),
+    /// L2-to-L2 write-back snarfing.
+    Snarf(SnarfConfig),
+    /// Both mechanisms together.
+    Combined(WbhtConfig, SnarfConfig),
+}
+
+impl PolicyConfig {
+    /// The paper's §5.3 combined configuration: both tables at 16K
+    /// entries "to preserve the overall space requirements".
+    pub fn combined_paper() -> Self {
+        PolicyConfig::Combined(
+            WbhtConfig {
+                entries: 16 * 1024,
+                ..WbhtConfig::default()
+            },
+            SnarfConfig {
+                entries: 16 * 1024,
+                ..SnarfConfig::default()
+            },
+        )
+    }
+
+    /// Does this policy include the WBHT?
+    pub fn has_wbht(&self) -> bool {
+        matches!(self, PolicyConfig::Wbht(_) | PolicyConfig::Combined(..))
+    }
+
+    /// Does this policy include snarfing?
+    pub fn has_snarf(&self) -> bool {
+        matches!(self, PolicyConfig::Snarf(_) | PolicyConfig::Combined(..))
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyConfig::Baseline => "baseline",
+            PolicyConfig::Wbht(_) => "wbht",
+            PolicyConfig::Snarf(_) => "snarf",
+            PolicyConfig::Combined(..) => "combined",
+        }
+    }
+}
+
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(PolicyConfig::Baseline.label(), "baseline");
+        assert_eq!(PolicyConfig::Wbht(WbhtConfig::default()).label(), "wbht");
+        assert_eq!(PolicyConfig::Snarf(SnarfConfig::default()).label(), "snarf");
+        assert_eq!(PolicyConfig::combined_paper().label(), "combined");
+    }
+
+    #[test]
+    fn capability_flags() {
+        assert!(!PolicyConfig::Baseline.has_wbht());
+        assert!(!PolicyConfig::Baseline.has_snarf());
+        assert!(PolicyConfig::Wbht(WbhtConfig::default()).has_wbht());
+        assert!(PolicyConfig::Snarf(SnarfConfig::default()).has_snarf());
+        let c = PolicyConfig::combined_paper();
+        assert!(c.has_wbht() && c.has_snarf());
+    }
+
+    #[test]
+    fn combined_paper_halves_tables() {
+        if let PolicyConfig::Combined(w, s) = PolicyConfig::combined_paper() {
+            assert_eq!(w.entries, 16 * 1024);
+            assert_eq!(s.entries, 16 * 1024);
+        } else {
+            panic!("not combined");
+        }
+    }
+}

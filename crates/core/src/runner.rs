@@ -1,0 +1,205 @@
+//! Convenience runner producing a complete report per simulation.
+
+use cmpsim_trace::{Workload, WorkloadParams};
+
+use crate::config::SystemConfig;
+use crate::policy::{RetrySwitchConfig, SnarfStats, WbhtStats};
+use crate::system::{System, SystemError, SystemStats};
+
+/// Everything one simulation run produced.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Workload name.
+    pub workload: String,
+    /// Policy label.
+    pub policy: &'static str,
+    /// Outstanding-miss limit used.
+    pub max_outstanding: u32,
+    /// System statistics.
+    pub stats: SystemStats,
+    /// L3 statistics.
+    pub l3: cmpsim_mem::L3Stats,
+    /// Memory statistics.
+    pub mem: cmpsim_mem::MemoryStats,
+    /// Ring statistics.
+    pub ring: cmpsim_ring::RingStats,
+    /// Merged WBHT statistics.
+    pub wbht: WbhtStats,
+    /// Snarf-table statistics, when snarfing is on.
+    pub snarf_table: Option<SnarfStats>,
+}
+
+impl RunReport {
+    /// Execution time in cycles.
+    pub fn cycles(&self) -> u64 {
+        self.stats.cycles
+    }
+
+    /// A compact JSON summary of the run (hand-rolled: every field is a
+    /// number or string, so no serializer dependency is needed).
+    pub fn to_json(&self) -> String {
+        let s = &self.stats;
+        let l3_total = self.l3.read_hits + self.l3.read_misses;
+        let l3_hit = if l3_total == 0 {
+            0.0
+        } else {
+            self.l3.read_hits as f64 / l3_total as f64
+        };
+        format!(
+            concat!(
+                "{{\"workload\":\"{}\",\"policy\":\"{}\",\"max_outstanding\":{},",
+                "\"cycles\":{},\"refs\":{},\"loads\":{},\"stores\":{},",
+                "\"l1_hits\":{},\"l2_hit_rate\":{:.6},\"l3_load_hit_rate\":{:.6},",
+                "\"fills_from_l2\":{},\"fills_from_l3\":{},\"fills_from_memory\":{},",
+                "\"wb_requests\":{},\"wb_dirty\":{},\"wb_clean\":{},",
+                "\"wb_clean_aborted\":{},\"wb_clean_redundant_rate\":{:.6},",
+                "\"wb_snarfed\":{},\"wb_squashed_peer\":{},\"wb_accepted_l3\":{},",
+                "\"retries_total\":{},\"retries_l3\":{},\"upgrades\":{},",
+                "\"mean_miss_latency\":{:.2},",
+                "\"wbht_decisions\":{},\"wbht_correct_rate\":{:.6},",
+                "\"ring_addr_txns\":{},\"mem_reads\":{},\"mem_writes\":{}}}"
+            ),
+            self.workload,
+            self.policy,
+            self.max_outstanding,
+            s.cycles,
+            s.refs,
+            s.loads,
+            s.stores,
+            s.l1_hits,
+            s.l2_hit_rate(),
+            l3_hit,
+            s.fills_from_l2,
+            s.fills_from_l3,
+            s.fills_from_memory,
+            s.wb.requests(),
+            s.wb.dirty_requests,
+            s.wb.clean_requests,
+            s.wb.clean_aborted,
+            s.wb.clean_redundant_rate(),
+            s.wb.snarfed,
+            s.wb.squashed_peer,
+            s.wb.accepted_l3,
+            s.retries_total,
+            s.retries_l3,
+            s.upgrades,
+            s.miss_latency.mean(),
+            self.wbht.decisions,
+            self.wbht.correct_rate(),
+            self.ring.addr_issued,
+            self.mem.reads,
+            self.mem.writes,
+        )
+    }
+
+    /// Percentage runtime improvement of this run over a baseline run
+    /// (positive = faster, as plotted in Figures 2/3/5/7).
+    pub fn improvement_over(&self, baseline: &RunReport) -> f64 {
+        if baseline.stats.cycles == 0 {
+            return 0.0;
+        }
+        (1.0 - self.stats.cycles as f64 / baseline.stats.cycles as f64) * 100.0
+    }
+}
+
+/// Options for a single run.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// System configuration (policy, pressure, geometry).
+    pub config: SystemConfig,
+    /// Workload parameters.
+    pub workload: WorkloadParams,
+    /// References each thread executes.
+    pub refs_per_thread: u64,
+    /// Retry-switch override (scaled windows for scaled runs).
+    pub retry_switch: Option<RetrySwitchConfig>,
+}
+
+impl RunSpec {
+    /// Builds a spec for one of the paper's workloads on a configuration.
+    pub fn for_workload(config: SystemConfig, workload: Workload, refs_per_thread: u64) -> Self {
+        let params = workload.params(config.num_threads(), config.cache_scale());
+        RunSpec {
+            config,
+            workload: params,
+            refs_per_thread,
+            retry_switch: None,
+        }
+    }
+}
+
+/// Runs one simulation to completion.
+///
+/// # Errors
+///
+/// Returns [`SystemError`] for invalid configurations or workloads.
+///
+/// # Example
+///
+/// ```
+/// use cmp_adaptive_wb::{run, RunSpec, SystemConfig};
+/// use cmpsim_trace::Workload;
+///
+/// let spec = RunSpec::for_workload(SystemConfig::scaled(16), Workload::Cpw2, 1_000);
+/// let report = run(spec)?;
+/// assert!(report.cycles() > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run(spec: RunSpec) -> Result<RunReport, SystemError> {
+    let workload_name = spec.workload.name.clone();
+    let policy = spec.config.policy.label();
+    let max_outstanding = spec.config.max_outstanding;
+    let mut sys = System::new(spec.config, spec.workload)?;
+    if let Some(rs) = spec.retry_switch {
+        sys.set_retry_switch(rs);
+    }
+    let stats = sys.run(spec.refs_per_thread);
+    Ok(RunReport {
+        workload: workload_name,
+        policy,
+        max_outstanding,
+        stats,
+        l3: sys.l3_stats(),
+        mem: sys.memory().stats(),
+        ring: sys.ring_stats(),
+        wbht: sys.wbht_stats(),
+        snarf_table: sys.snarf_table_stats(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_baseline() {
+        let spec = RunSpec::for_workload(SystemConfig::scaled(16), Workload::NotesBench, 500);
+        let r = run(spec).unwrap();
+        assert!(r.cycles() > 0);
+        assert_eq!(r.stats.refs, 500 * 16);
+        assert_eq!(r.policy, "baseline");
+    }
+
+    #[test]
+    fn json_summary_is_valid_shape() {
+        let spec = RunSpec::for_workload(SystemConfig::scaled(16), Workload::Cpw2, 400);
+        let r = run(spec).unwrap();
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"workload\":\"CPW2\""));
+        assert!(j.contains("\"cycles\":"));
+        // Balanced braces and quotes.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn improvement_math() {
+        let spec = RunSpec::for_workload(SystemConfig::scaled(16), Workload::NotesBench, 300);
+        let a = run(spec.clone()).unwrap();
+        let mut b = a.clone();
+        b.stats.cycles = a.stats.cycles * 9 / 10;
+        assert!(b.improvement_over(&a) > 9.0);
+        assert!(a.improvement_over(&a).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,15 @@
+//! The CMP system model: threads, L1s, L2s, ring, L3, memory, and the
+//! discrete-event loop that ties them together.
+
+mod l1;
+mod l2;
+mod stats;
+#[allow(clippy::module_inception)]
+mod system;
+mod thread;
+
+pub use l1::L1Cache;
+pub use l2::{L2Unit, SnarfFlags};
+pub use stats::{L2Stats, SnarfUsage, SystemStats, WbReuse, WbTraffic};
+pub use system::{System, SystemError};
+pub use thread::{Park, ThreadCtx};

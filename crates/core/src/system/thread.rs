@@ -1,0 +1,100 @@
+//! Per-thread issue state.
+
+use cmpsim_engine::Cycle;
+use cmpsim_trace::TraceRecord;
+
+/// Why a thread is not currently issuing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Park {
+    /// Running (a `ThreadStep` event is scheduled or executing).
+    Running,
+    /// At the outstanding-miss limit; wakes when one of its misses
+    /// completes.
+    Outstanding,
+    /// Blocked on MSHR exhaustion at its L2; wakes when an MSHR frees.
+    MshrFull,
+    /// Finished its reference stream.
+    Done,
+}
+
+/// Issue state of one hardware thread.
+///
+/// Threads issue one reference per cycle while below their
+/// outstanding-miss limit — the paper's memory-pressure model: "One
+/// parameter we vary is the maximum number of outstanding read and write
+/// misses per thread that can be simultaneously present in the system"
+/// (§4.1).
+#[derive(Debug, Clone)]
+pub struct ThreadCtx {
+    /// The thread's local clock: when its next reference issues.
+    pub next_time: Cycle,
+    /// References issued so far.
+    pub issued: u64,
+    /// Reference budget for the run.
+    pub limit: u64,
+    /// Misses (and upgrades) currently in flight.
+    pub outstanding: u32,
+    /// Scheduling state.
+    pub park: Park,
+    /// A reference fetched but not yet processed (kept across MSHR-full
+    /// parking so it is not lost).
+    pub pending: Option<TraceRecord>,
+    /// Cycle at which the thread finished (stream consumed and
+    /// outstanding drained).
+    pub completed_at: Option<Cycle>,
+}
+
+impl ThreadCtx {
+    /// Creates a thread with a reference budget.
+    pub fn new(limit: u64) -> Self {
+        ThreadCtx {
+            next_time: 0,
+            issued: 0,
+            limit,
+            outstanding: 0,
+            park: Park::Running,
+            pending: None,
+            completed_at: None,
+        }
+    }
+
+    /// Has the thread consumed its reference budget?
+    pub fn stream_done(&self) -> bool {
+        self.issued >= self.limit && self.pending.is_none()
+    }
+
+    /// Is the thread fully finished (stream consumed, misses drained)?
+    pub fn finished(&self) -> bool {
+        self.stream_done() && self.outstanding == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let mut t = ThreadCtx::new(2);
+        assert!(!t.stream_done());
+        t.issued = 2;
+        assert!(t.stream_done());
+        t.outstanding = 1;
+        assert!(!t.finished());
+        t.outstanding = 0;
+        assert!(t.finished());
+    }
+
+    #[test]
+    fn pending_blocks_stream_done() {
+        let mut t = ThreadCtx::new(1);
+        t.issued = 1;
+        assert!(t.stream_done());
+        t.pending = Some(TraceRecord::new(
+            cmpsim_trace::ThreadId::new(0),
+            cmpsim_trace::MemOp::Load,
+            cmpsim_cache::Addr::new(0),
+        ));
+        assert!(!t.stream_done());
+    }
+}

@@ -1,0 +1,197 @@
+//! A deterministic event queue with stable same-time ordering.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::Cycle;
+
+/// A priority queue of timestamped events.
+///
+/// Events pop in non-decreasing time order; events pushed at the same time
+/// pop in push order (FIFO), which makes simulations fully deterministic
+/// regardless of heap internals.
+///
+/// # Example
+///
+/// ```
+/// use cmpsim_engine::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.push(5, "b");
+/// q.push(3, "a");
+/// q.push(5, "c");
+/// assert_eq!(q.pop(), Some((3, "a")));
+/// assert_eq!(q.pop(), Some((5, "b")));
+/// assert_eq!(q.pop(), Some((5, "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    seq: u64,
+    last_popped: Cycle,
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    time: Cycle,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            last_popped: 0,
+        }
+    }
+
+    /// Creates an empty queue with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            seq: 0,
+            last_popped: 0,
+        }
+    }
+
+    /// Schedules `payload` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the last popped time: scheduling
+    /// into the past would silently corrupt resource busy-until state.
+    pub fn push(&mut self, time: Cycle, payload: T) {
+        assert!(
+            time >= self.last_popped,
+            "event scheduled in the past: {} < {}",
+            time,
+            self.last_popped
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, payload }));
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(Cycle, T)> {
+        let Reverse(e) = self.heap.pop()?;
+        self.last_popped = e.time;
+        Some((e.time, e.payload))
+    }
+
+    /// Returns the time of the earliest pending event without removing it.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The timestamp of the most recently popped event (0 before any pop).
+    ///
+    /// This is the queue's notion of "now"; pushes earlier than this panic.
+    pub fn now(&self) -> Cycle {
+        self.last_popped
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, 3);
+        q.push(10, 1);
+        q.push(20, 2);
+        assert_eq!(q.pop(), Some((10, 1)));
+        assert_eq!(q.pop(), Some((20, 2)));
+        assert_eq!(q.pop(), Some((30, 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(7, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((7, i)));
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(4, "x");
+        assert_eq!(q.peek_time(), Some(4));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn now_tracks_last_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), 0);
+        q.push(9, ());
+        q.pop();
+        assert_eq!(q.now(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn push_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.push(10, ());
+        q.pop();
+        q.push(5, ());
+    }
+
+    #[test]
+    fn push_at_now_is_allowed() {
+        let mut q = EventQueue::new();
+        q.push(10, 1);
+        q.pop();
+        q.push(10, 2);
+        assert_eq!(q.pop(), Some((10, 2)));
+    }
+}

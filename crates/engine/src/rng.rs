@@ -1,0 +1,163 @@
+//! Deterministic pseudo-random number generation.
+
+/// SplitMix64 pseudo-random generator.
+///
+/// Small, fast, and fully deterministic across platforms — every run of
+/// the simulator with the same seed produces bit-identical results. Not
+/// cryptographically secure (and does not need to be).
+///
+/// # Example
+///
+/// ```
+/// use cmpsim_engine::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let x = a.gen_range(10);
+/// assert!(x < 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range bound must be positive");
+        // Lemire's multiply-shift rejection-free mapping is fine here:
+        // a tiny modulo bias is irrelevant for workload synthesis, but we
+        // use 128-bit multiply to avoid it anyway.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Geometric-ish "stack distance" sample: returns a value in
+    /// `[0, n)` heavily biased toward 0 with decay parameter `theta`
+    /// (larger theta = stronger locality). Used by the synthetic trace
+    /// generators to model LRU temporal locality.
+    pub fn gen_stack_distance(&mut self, n: u64, theta: f64) -> u64 {
+        debug_assert!(n > 0);
+        // Inverse-power sampling: d = floor(n * u^theta).
+        let u = self.gen_f64();
+        let d = (n as f64 * u.powf(theta)) as u64;
+        d.min(n - 1)
+    }
+
+    /// Derives an independent generator (useful for per-thread streams).
+    pub fn fork(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64() ^ 0xA5A5_A5A5_5A5A_5A5A)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bound() {
+        let mut r = SplitMix64::new(99);
+        for _ in 0..10_000 {
+            assert!(r.gen_range(17) < 17);
+        }
+    }
+
+    #[test]
+    fn gen_range_roughly_uniform() {
+        let mut r = SplitMix64::new(3);
+        let mut buckets = [0u32; 8];
+        for _ in 0..80_000 {
+            buckets[r.gen_range(8) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((8_000..12_000).contains(&b), "bucket count {b}");
+        }
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut r = SplitMix64::new(5);
+        for _ in 0..10_000 {
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = SplitMix64::new(11);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((27_000..33_000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn stack_distance_biased_low() {
+        let mut r = SplitMix64::new(13);
+        let n = 1000;
+        let samples: Vec<u64> = (0..50_000).map(|_| r.gen_stack_distance(n, 3.0)).collect();
+        assert!(samples.iter().all(|&d| d < n));
+        let low = samples.iter().filter(|&&d| d < n / 10).count();
+        // With theta=3, u^3 < 0.1 whenever u < 0.464 -> ~46% of samples.
+        assert!(low > samples.len() / 3, "low-distance fraction too small");
+    }
+
+    #[test]
+    fn fork_produces_independent_stream() {
+        let mut a = SplitMix64::new(21);
+        let mut c = a.fork();
+        // Streams should not be identical.
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn gen_range_zero_panics() {
+        SplitMix64::new(0).gen_range(0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Offline trace analysis: the statistics that predict cache behaviour.
+//!
+//! These tools quantify the properties the synthetic workloads are
+//! calibrated to reproduce — LRU reuse distances (hit rates at any
+//! cache size fall out directly), footprints, sharing degree, and
+//! write-back re-reference counts (the paper notes Trade2 lines are
+//! "written back and then re-referenced more than 300 times").
+
+use std::collections::HashMap;
+
+use crate::TraceRecord;
+
+/// LRU reuse-distance histogram over a reference stream.
+///
+/// The reuse distance of an access is the number of *distinct* lines
+/// touched since the previous access to the same line (∞ for first
+/// touches). A fully-associative LRU cache of `C` lines hits exactly
+/// the accesses with distance < `C`, so the histogram predicts hit
+/// rates at every capacity at once.
+///
+/// This implementation uses the classic O(N·M) stack simulation (M =
+/// footprint), which is fine for the trace sizes the tools handle.
+///
+/// # Example
+///
+/// ```
+/// use cmpsim_trace::{analysis::ReuseDistances, TraceRecord, ThreadId, MemOp};
+/// use cmpsim_cache::Addr;
+///
+/// let r = |a: u64| TraceRecord::new(ThreadId::new(0), MemOp::Load, Addr::new(a * 128));
+/// let trace = vec![r(1), r(2), r(1)]; // line 1 reused at distance 1
+/// let rd = ReuseDistances::from_records(&trace, 128);
+/// assert_eq!(rd.cold_misses(), 2);
+/// assert!((rd.hit_rate_at(2) - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReuseDistances {
+    /// `histogram[d]` = number of accesses with reuse distance `d`
+    /// (log2-bucketed: bucket `i` covers `[2^i, 2^(i+1))`, bucket 0 is
+    /// distance 0).
+    buckets: Vec<u64>,
+    cold: u64,
+    total: u64,
+}
+
+impl ReuseDistances {
+    /// Computes reuse distances for a record stream at the given line
+    /// size.
+    pub fn from_records(records: &[TraceRecord], line_bytes: u64) -> Self {
+        let mut stack: Vec<u64> = Vec::new();
+        let mut buckets = vec![0u64; 40];
+        let mut cold = 0u64;
+        for r in records {
+            let line = r.addr.line(line_bytes).raw();
+            match stack.iter().rposition(|&l| l == line) {
+                Some(pos) => {
+                    let distance = stack.len() - 1 - pos;
+                    let b = if distance == 0 {
+                        0
+                    } else {
+                        64 - (distance as u64).leading_zeros() as usize
+                    };
+                    buckets[b.min(39)] += 1;
+                    stack.remove(pos);
+                    stack.push(line);
+                }
+                None => {
+                    cold += 1;
+                    stack.push(line);
+                }
+            }
+        }
+        ReuseDistances {
+            buckets,
+            cold,
+            total: records.len() as u64,
+        }
+    }
+
+    /// Accesses that touched a line for the first time.
+    pub fn cold_misses(&self) -> u64 {
+        self.cold
+    }
+
+    /// Total accesses analysed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Predicted hit rate of a fully-associative LRU cache with
+    /// `capacity_lines` lines.
+    pub fn hit_rate_at(&self, capacity_lines: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut hits = 0u64;
+        for (i, &count) in self.buckets.iter().enumerate() {
+            let bucket_floor: u64 = if i == 0 { 0 } else { 1 << (i - 1) };
+            if bucket_floor < capacity_lines {
+                hits += count;
+            }
+        }
+        hits as f64 / self.total as f64
+    }
+
+    /// The log2 histogram buckets (`buckets()[i]` covers distances
+    /// `[2^(i-1), 2^i)`; bucket 0 is distance 0).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+/// Aggregate footprint and sharing statistics of a trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceProfile {
+    /// Total records.
+    pub records: u64,
+    /// Store fraction ×1000 (integer to stay `Eq`; divide by 10 for %).
+    pub store_permille: u64,
+    /// Distinct lines touched.
+    pub footprint_lines: u64,
+    /// Lines touched by more than one thread.
+    pub shared_lines: u64,
+    /// Lines touched by threads of more than one L2 cache (4 threads
+    /// per L2 in the modelled CMP).
+    pub cross_l2_lines: u64,
+    /// Maximum times any single line was touched.
+    pub max_line_touches: u64,
+}
+
+/// Profiles a record stream: footprint, sharing, store mix.
+///
+/// `threads_per_l2` maps threads onto L2 caches for the cross-L2
+/// sharing statistic (4 in the modelled CMP).
+pub fn profile(records: &[TraceRecord], line_bytes: u64, threads_per_l2: u16) -> TraceProfile {
+    #[derive(Default)]
+    struct LineInfo {
+        touches: u64,
+        threads: u32,  // bitmask over first 32 thread ids
+        l2s: u8,       // bitmask over first 8 L2s
+    }
+    let mut lines: HashMap<u64, LineInfo> = HashMap::new();
+    let mut stores = 0u64;
+    for r in records {
+        if r.op.is_store() {
+            stores += 1;
+        }
+        let e = lines.entry(r.addr.line(line_bytes).raw()).or_default();
+        e.touches += 1;
+        if r.thread.index() < 32 {
+            e.threads |= 1 << r.thread.index();
+        }
+        let l2 = r.thread.index() / threads_per_l2.max(1) as usize;
+        if l2 < 8 {
+            e.l2s |= 1 << l2;
+        }
+    }
+    TraceProfile {
+        records: records.len() as u64,
+        store_permille: if records.is_empty() {
+            0
+        } else {
+            stores * 1000 / records.len() as u64
+        },
+        footprint_lines: lines.len() as u64,
+        shared_lines: lines.values().filter(|i| i.threads.count_ones() > 1).count() as u64,
+        cross_l2_lines: lines.values().filter(|i| i.l2s.count_ones() > 1).count() as u64,
+        max_line_touches: lines.values().map(|i| i.touches).max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemOp, ThreadId};
+    use cmpsim_cache::Addr;
+
+    fn r(t: u16, line: u64, store: bool) -> TraceRecord {
+        TraceRecord::new(
+            ThreadId::new(t),
+            if store { MemOp::Store } else { MemOp::Load },
+            Addr::new(line * 128),
+        )
+    }
+
+    #[test]
+    fn reuse_distance_basics() {
+        // Stream: 1 2 3 1 -> line 1 reused at distance 2.
+        let trace = vec![r(0, 1, false), r(0, 2, false), r(0, 3, false), r(0, 1, false)];
+        let rd = ReuseDistances::from_records(&trace, 128);
+        assert_eq!(rd.cold_misses(), 3);
+        assert_eq!(rd.total(), 4);
+        // Capacity 1 or 2: the reuse at distance 2 misses.
+        assert!((rd.hit_rate_at(2) - 0.0).abs() < 1e-12);
+        // Capacity 4: it hits.
+        assert!((rd.hit_rate_at(4) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn immediate_reuse_is_distance_zero() {
+        let trace = vec![r(0, 5, false), r(0, 5, false), r(0, 5, false)];
+        let rd = ReuseDistances::from_records(&trace, 128);
+        assert_eq!(rd.cold_misses(), 1);
+        assert_eq!(rd.buckets()[0], 2);
+        assert!((rd.hit_rate_at(1) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_rate_monotone_in_capacity() {
+        let mut trace = Vec::new();
+        for i in 0..200u64 {
+            trace.push(r(0, i % 37, i % 3 == 0));
+        }
+        let rd = ReuseDistances::from_records(&trace, 128);
+        let mut prev = 0.0;
+        for cap in [1u64, 2, 4, 8, 16, 32, 64] {
+            let h = rd.hit_rate_at(cap);
+            assert!(h >= prev, "hit rate not monotone at {cap}");
+            prev = h;
+        }
+        // Capacity >= footprint: everything but cold misses hits.
+        let warm = (rd.total() - rd.cold_misses()) as f64 / rd.total() as f64;
+        assert!((rd.hit_rate_at(64) - warm).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_counts_sharing() {
+        let trace = vec![
+            r(0, 1, false),
+            r(1, 1, true),  // shared within L2#0 (threads 0-3)
+            r(4, 2, false), // L2#1
+            r(0, 2, false), // line 2 now cross-L2
+            r(0, 3, false),
+        ];
+        let p = profile(&trace, 128, 4);
+        assert_eq!(p.records, 5);
+        assert_eq!(p.footprint_lines, 3);
+        assert_eq!(p.shared_lines, 2); // lines 1 and 2
+        assert_eq!(p.cross_l2_lines, 1); // line 2 only
+        assert_eq!(p.store_permille, 200);
+        assert_eq!(p.max_line_touches, 2);
+    }
+
+    #[test]
+    fn empty_trace_profiles_cleanly() {
+        let p = profile(&[], 128, 4);
+        assert_eq!(p, TraceProfile::default());
+        let rd = ReuseDistances::from_records(&[], 128);
+        assert_eq!(rd.hit_rate_at(100), 0.0);
+    }
+}

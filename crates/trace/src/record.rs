@@ -1,0 +1,123 @@
+//! Trace records: the unit of workload input.
+
+use std::fmt;
+
+use cmpsim_cache::Addr;
+
+/// A hardware thread identifier (the modelled CMP has 16: 8 cores × 2
+/// SMT threads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ThreadId(u16);
+
+impl ThreadId {
+    /// Creates a thread id.
+    pub const fn new(raw: u16) -> Self {
+        ThreadId(raw)
+    }
+
+    /// Raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Raw value.
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// All thread ids in a system with `count` threads.
+    pub fn all(count: u16) -> impl Iterator<Item = ThreadId> {
+        (0..count).map(ThreadId)
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A memory operation kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemOp {
+    /// A load (read).
+    Load,
+    /// A store (write).
+    Store,
+}
+
+impl MemOp {
+    /// Is this a store?
+    pub fn is_store(self) -> bool {
+        matches!(self, MemOp::Store)
+    }
+}
+
+impl fmt::Display for MemOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MemOp::Load => "ld",
+            MemOp::Store => "st",
+        })
+    }
+}
+
+/// One memory reference in a trace.
+///
+/// # Example
+///
+/// ```
+/// use cmpsim_trace::{TraceRecord, ThreadId, MemOp};
+/// use cmpsim_cache::Addr;
+///
+/// let r = TraceRecord::new(ThreadId::new(3), MemOp::Load, Addr::new(0x1000));
+/// assert_eq!(r.thread.index(), 3);
+/// assert!(!r.op.is_store());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Issuing hardware thread.
+    pub thread: ThreadId,
+    /// Operation kind.
+    pub op: MemOp,
+    /// Referenced byte address.
+    pub addr: Addr,
+}
+
+impl TraceRecord {
+    /// Creates a record.
+    pub fn new(thread: ThreadId, op: MemOp, addr: Addr) -> Self {
+        TraceRecord { thread, op, addr }
+    }
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.thread, self.op, self.addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_ids() {
+        let ts: Vec<_> = ThreadId::all(3).collect();
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts[2].index(), 2);
+        assert_eq!(ts[2].raw(), 2);
+    }
+
+    #[test]
+    fn op_classification() {
+        assert!(MemOp::Store.is_store());
+        assert!(!MemOp::Load.is_store());
+    }
+
+    #[test]
+    fn record_display() {
+        let r = TraceRecord::new(ThreadId::new(1), MemOp::Store, Addr::new(0x80));
+        assert_eq!(r.to_string(), "t1 st 0x80");
+    }
+}

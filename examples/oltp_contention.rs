@@ -1,0 +1,51 @@
+//! OLTP under memory pressure: reproduce the paper's headline TP result.
+//!
+//! The TP workload (TPC-C-like transaction processing) floods the L3's
+//! incoming queues with dirty write-backs; the L3 answers with retries.
+//! Allowing peer L2 caches to absorb ("snarf") write-backs keeps hot
+//! lines on-chip, squashes redundant write-backs, and collapses the
+//! retry rate — the paper's largest single result (+13.1% for TP).
+//!
+//! ```sh
+//! cargo run --release --example oltp_contention
+//! ```
+
+use cmp_hierarchies::adaptive::{run, PolicyConfig, RunSpec, SnarfConfig, SystemConfig};
+use cmp_hierarchies::trace::Workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("TP (OLTP) with and without L2-to-L2 snarfing, by memory pressure\n");
+    println!(
+        "{:>12} {:>14} {:>14} {:>12} {:>10} {:>10}",
+        "outstanding", "base cycles", "snarf cycles", "improvement", "snarfed", "retries-"
+    );
+    for pressure in [2u32, 4, 6] {
+        let mut cfg = SystemConfig::scaled(8);
+        cfg.max_outstanding = pressure;
+        let base = run(RunSpec::for_workload(cfg.clone(), Workload::Tp, 10_000))?;
+
+        cfg.policy = PolicyConfig::Snarf(SnarfConfig {
+            entries: 4096,
+            ..Default::default()
+        });
+        let snarf = run(RunSpec::for_workload(cfg, Workload::Tp, 10_000))?;
+
+        let retry_drop = if base.stats.retries_l3 > 0 {
+            100.0 * (1.0 - snarf.stats.retries_l3 as f64 / base.stats.retries_l3 as f64)
+        } else {
+            0.0
+        };
+        println!(
+            "{:>12} {:>14} {:>14} {:>11.1}% {:>10} {:>9.0}%",
+            pressure,
+            base.stats.cycles,
+            snarf.stats.cycles,
+            snarf.improvement_over(&base),
+            snarf.stats.snarf.snarfed,
+            retry_drop,
+        );
+    }
+    println!("\nThe gain grows with pressure: snarfed + squashed write-backs");
+    println!("relieve the L3's incoming queues exactly when they saturate.");
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Quickstart: build the modelled CMP, run a short Trade2-like workload
+//! under the baseline and WBHT policies, and compare execution time.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cmp_hierarchies::adaptive::{run, PolicyConfig, RunSpec, SystemConfig, WbhtConfig};
+use cmp_hierarchies::trace::Workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A capacity-scaled hierarchy (1/8 the paper's sizes) keeps this
+    // example fast; use `SystemConfig::paper()` for the full geometry.
+    let mut cfg = SystemConfig::scaled(8);
+    cfg.max_outstanding = 6; // the paper's highest memory pressure
+
+    println!("simulating {} threads, {} L2 caches, policy = baseline", cfg.num_threads(), cfg.num_l2);
+    let base = run(RunSpec::for_workload(cfg.clone(), Workload::Trade2, 10_000))?;
+    println!(
+        "baseline : {:>9} cycles | L2 hit {:>5.1}% | L3 load hit {:>5.1}% | {} clean write-backs ({:.0}% redundant)",
+        base.stats.cycles,
+        base.stats.l2_hit_rate() * 100.0,
+        l3_hit(&base) * 100.0,
+        base.stats.wb.clean_requests,
+        base.stats.wb.clean_redundant_rate() * 100.0,
+    );
+
+    // Add the paper's Write-Back History Table (32K entries at full
+    // scale; scaled here to keep the table:cache ratio).
+    cfg.policy = PolicyConfig::Wbht(WbhtConfig {
+        entries: 4096,
+        ..Default::default()
+    });
+    let wbht = run(RunSpec::for_workload(cfg, Workload::Trade2, 10_000))?;
+    println!(
+        "wbht     : {:>9} cycles | {} clean write-backs aborted | oracle-correct {:>5.1}%",
+        wbht.stats.cycles,
+        wbht.stats.wb.clean_aborted,
+        wbht.wbht.correct_rate() * 100.0,
+    );
+    println!(
+        "improvement over baseline: {:+.1}% (paper reports up to 13% for Trade2)",
+        wbht.improvement_over(&base)
+    );
+    Ok(())
+}
+
+fn l3_hit(r: &cmp_hierarchies::adaptive::RunReport) -> f64 {
+    let t = r.l3.read_hits + r.l3.read_misses;
+    if t == 0 {
+        0.0
+    } else {
+        r.l3.read_hits as f64 / t as f64
+    }
+}

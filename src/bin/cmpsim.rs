@@ -1,0 +1,264 @@
+//! `cmpsim` — command-line driver for the CMP cache-hierarchy simulator.
+//!
+//! Runs one simulation and prints a report, optionally as CSV.
+//!
+//! ```text
+//! cmpsim [--workload tp|cpw2|notesbench|trade2] [--policy baseline|wbht|snarf|combined]
+//!        [--entries N] [--outstanding 1..6] [--refs N] [--scale N] [--seed N]
+//!        [--trace FILE] [--granularity N] [--global-wbht] [--csv]
+//! ```
+
+use std::process::ExitCode;
+
+use cmp_hierarchies::adaptive::{
+    PolicyConfig, SnarfConfig, System, SystemConfig, UpdateScope, WbhtConfig,
+};
+use cmp_hierarchies::trace::{file as trace_file, TracePlayback, Workload};
+
+#[derive(Debug)]
+struct Args {
+    workload: Workload,
+    policy: String,
+    entries: u64,
+    outstanding: u32,
+    refs: u64,
+    scale: u64,
+    seed: u64,
+    trace: Option<String>,
+    granularity: u64,
+    global_wbht: bool,
+    csv: bool,
+    json: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            workload: Workload::Trade2,
+            policy: "baseline".into(),
+            entries: 0, // 0 = scaled paper default
+            outstanding: 6,
+            refs: 20_000,
+            scale: 8,
+            seed: 0x1BAD_B002,
+            trace: None,
+            granularity: 1,
+            global_wbht: false,
+            csv: false,
+            json: false,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--workload" | "-w" => {
+                args.workload = match value("--workload")?.to_lowercase().as_str() {
+                    "tp" => Workload::Tp,
+                    "cpw2" => Workload::Cpw2,
+                    "notesbench" | "nb" => Workload::NotesBench,
+                    "trade2" => Workload::Trade2,
+                    other => return Err(format!("unknown workload {other}")),
+                }
+            }
+            "--policy" | "-p" => args.policy = value("--policy")?.to_lowercase(),
+            "--entries" => args.entries = parse_num(&value("--entries")?)?,
+            "--outstanding" | "-o" => args.outstanding = parse_num(&value("--outstanding")?)? as u32,
+            "--refs" | "-n" => args.refs = parse_num(&value("--refs")?)?,
+            "--scale" => args.scale = parse_num(&value("--scale")?)?,
+            "--seed" => args.seed = parse_num(&value("--seed")?)?,
+            "--trace" => args.trace = Some(value("--trace")?),
+            "--granularity" => args.granularity = parse_num(&value("--granularity")?)?,
+            "--global-wbht" => args.global_wbht = true,
+            "--csv" => args.csv = true,
+            "--json" => args.json = true,
+            "--help" | "-h" => {
+                println!("{}", HELP);
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_num(s: &str) -> Result<u64, String> {
+    let s = s.replace('_', "");
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).map_err(|e| format!("bad number {s}: {e}"))
+    } else {
+        s.parse().map_err(|e| format!("bad number {s}: {e}"))
+    }
+}
+
+const HELP: &str = "cmpsim - CMP cache-hierarchy simulator (ISCA 2005 reproduction)
+
+USAGE:
+    cmpsim [OPTIONS]
+
+OPTIONS:
+    -w, --workload NAME    tp | cpw2 | notesbench | trade2   [trade2]
+    -p, --policy NAME      baseline | wbht | snarf | combined [baseline]
+        --entries N        history-table entries (0 = scaled 32K) [0]
+    -o, --outstanding N    max outstanding misses/thread (1-6) [6]
+    -n, --refs N           references per thread [20000]
+        --scale N          capacity divisor vs the paper system [8]
+        --seed N           workload RNG seed
+        --trace FILE       replay a CMPTRC01 trace instead of a synthetic workload
+        --granularity N    lines per WBHT entry (power of two) [1]
+        --global-wbht      allocate WBHT entries in all L2s (Figure 3 mode)
+        --csv              machine-readable one-line CSV output
+        --json             machine-readable JSON summary";
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cmpsim: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn real_main() -> Result<(), String> {
+    let args = parse_args()?;
+    let mut cfg = if args.scale <= 1 {
+        SystemConfig::paper()
+    } else {
+        SystemConfig::scaled(args.scale)
+    };
+    cfg.max_outstanding = args.outstanding.clamp(1, 64);
+    cfg.seed = args.seed;
+    let entries = if args.entries == 0 {
+        (32 * 1024 / args.scale.max(1)).max(256)
+    } else {
+        args.entries
+    };
+    let scope = if args.global_wbht {
+        UpdateScope::Global
+    } else {
+        UpdateScope::Local
+    };
+    cfg.policy = match args.policy.as_str() {
+        "baseline" => PolicyConfig::Baseline,
+        "wbht" => PolicyConfig::Wbht(WbhtConfig {
+            entries,
+            assoc: 16,
+            scope,
+            granularity: args.granularity,
+        }),
+        "snarf" => PolicyConfig::Snarf(SnarfConfig {
+            entries,
+            ..Default::default()
+        }),
+        "combined" => PolicyConfig::Combined(
+            WbhtConfig {
+                entries: (entries / 2).max(256),
+                assoc: 16,
+                scope,
+                granularity: args.granularity,
+            },
+            SnarfConfig {
+                entries: (entries / 2).max(256),
+                ..Default::default()
+            },
+        ),
+        other => return Err(format!("unknown policy {other}")),
+    };
+
+    let mut sys = match &args.trace {
+        Some(path) => {
+            let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+            let records =
+                trace_file::read_trace(&data[..]).map_err(|e| format!("{path}: {e}"))?;
+            let playback = TracePlayback::new(
+                path.clone(),
+                records,
+                cfg.num_threads(),
+                1,
+            );
+            System::with_source(cfg.clone(), Box::new(playback)).map_err(|e| e.to_string())?
+        }
+        None => {
+            let params = args.workload.params(cfg.num_threads(), cfg.cache_scale());
+            System::new(cfg.clone(), params).map_err(|e| e.to_string())?
+        }
+    };
+    let stats = sys.run(args.refs);
+
+    let l3 = sys.l3().stats();
+    let l3_hit = if l3.read_hits + l3.read_misses > 0 {
+        l3.read_hits as f64 / (l3.read_hits + l3.read_misses) as f64
+    } else {
+        0.0
+    };
+    if args.json {
+        println!(
+            concat!(
+                "{{\"workload\":\"{}\",\"policy\":\"{}\",\"outstanding\":{},",
+                "\"cycles\":{},\"refs\":{},\"l2_hit_rate\":{:.6},\"l3_load_hit_rate\":{:.6},",
+                "\"wb_requests\":{},\"wb_clean_aborted\":{},\"wb_clean_redundant_rate\":{:.6},",
+                "\"wb_snarfed\":{},\"retries_l3\":{},\"off_chip\":{},",
+                "\"mean_miss_latency\":{:.2}}}"
+            ),
+            args.workload.name(),
+            args.policy,
+            args.outstanding,
+            stats.cycles,
+            stats.refs,
+            stats.l2_hit_rate(),
+            l3_hit,
+            stats.wb.requests(),
+            stats.wb.clean_aborted,
+            stats.wb.clean_redundant_rate(),
+            stats.wb.snarfed,
+            stats.retries_l3,
+            stats.off_chip_accesses(),
+            stats.miss_latency.mean(),
+        );
+    } else if args.csv {
+        println!(
+            "workload,policy,outstanding,cycles,refs,l2_hit,l3_hit,wb_requests,clean_aborted,\
+             clean_redundant,snarfed,retries_l3,offchip"
+        );
+        println!(
+            "{},{},{},{},{},{:.4},{:.4},{},{},{:.4},{},{},{}",
+            args.workload.name(),
+            args.policy,
+            args.outstanding,
+            stats.cycles,
+            stats.refs,
+            stats.l2_hit_rate(),
+            l3_hit,
+            stats.wb.requests(),
+            stats.wb.clean_aborted,
+            stats.wb.clean_redundant_rate(),
+            stats.snarf.snarfed,
+            stats.retries_l3,
+            stats.off_chip_accesses(),
+        );
+    } else {
+        println!("workload      : {}", args.workload.name());
+        println!("policy        : {}", args.policy);
+        println!("outstanding   : {}", args.outstanding);
+        println!("cycles        : {}", stats.cycles);
+        println!("references    : {}", stats.refs);
+        println!("L2 hit rate   : {:.1}%", stats.l2_hit_rate() * 100.0);
+        println!("L3 load hits  : {:.1}%", l3_hit * 100.0);
+        println!("WB requests   : {}", stats.wb.requests());
+        println!("  redundant   : {:.1}%", stats.wb.clean_redundant_rate() * 100.0);
+        println!("  WBHT aborts : {}", stats.wb.clean_aborted);
+        println!("  snarfed     : {}", stats.wb.snarfed);
+        println!("L3 retries    : {}", stats.retries_l3);
+        println!("off-chip      : {}", stats.off_chip_accesses());
+        println!("mean miss lat : {:.0} cycles", stats.miss_latency.mean());
+    }
+    Ok(())
+}

@@ -1,0 +1,145 @@
+//! Latency calibration against the paper's Table 3.
+//!
+//! The simulator is cycle-approximate: these tests pin the
+//! contention-free end-to-end latencies of the three data sources to the
+//! paper's values (77 cycles L2-to-L2, 167 cycles L3, 431 cycles
+//! memory) within tolerances, using purpose-built micro-workloads that
+//! exercise exactly one path.
+
+use cmp_hierarchies::adaptive::{System, SystemConfig};
+use cmp_hierarchies::trace::{SegmentMix, WorkloadParams};
+
+fn micro(mix: SegmentMix, region_lines: u64, store_frac: f64) -> WorkloadParams {
+    WorkloadParams {
+        name: "micro".into(),
+        line_bytes: 128,
+        threads: 16,
+        issue_interval: 1,
+        mix,
+        private_lines: region_lines.max(16),
+        private_theta: 1.0,
+        private_store_frac: store_frac,
+        bounce_lines: region_lines.max(16),
+        bounce_group_threads: 4,
+        bounce_cross_frac: 0.0,
+        bounce_theta: 1.0,
+        bounce_store_frac: store_frac,
+        rotor_lines: region_lines.max(16),
+        rotor_store_frac: store_frac,
+        shared_lines: region_lines.max(16),
+        shared_theta: 1.0,
+        shared_store_frac: store_frac,
+        migratory_lines: region_lines.max(16),
+        migratory_rmw_frac: 0.5,
+    }
+}
+
+fn only(segment: &str) -> SegmentMix {
+    let mut m = SegmentMix {
+        private: 0.0,
+        bounce: 0.0,
+        rotor: 0.0,
+        shared: 0.0,
+        migratory: 0.0,
+        streaming: 0.0,
+    };
+    match segment {
+        "streaming" => m.streaming = 1.0,
+        "bounce" => m.bounce = 1.0,
+        "migratory" => m.migratory = 1.0,
+        other => panic!("unknown segment {other}"),
+    }
+    m
+}
+
+/// Pure streaming at 1 outstanding load: every miss goes to memory,
+/// contention-free. Mean miss latency must sit near the paper's
+/// 431-cycle memory latency.
+#[test]
+fn memory_path_latency_near_431() {
+    let mut cfg = SystemConfig::scaled(8);
+    cfg.max_outstanding = 1;
+    let mut sys = System::new(cfg, micro(only("streaming"), 16, 0.0)).unwrap();
+    let stats = sys.run(2_000);
+    assert!(stats.fills_from_memory > 1_000, "streaming must hit memory");
+    let mean = stats.miss_latency.mean();
+    assert!(
+        (390.0..480.0).contains(&mean),
+        "memory path mean {mean:.0} outside [390, 480]"
+    );
+}
+
+/// A bounce set larger than the L2s but inside the L3, revisited
+/// repeatedly at 1 outstanding load: after warm-up, misses are L3 hits.
+/// Mean steady-state miss latency must sit near the 167-cycle L3 hit
+/// latency.
+#[test]
+fn l3_path_latency_near_167() {
+    let mut cfg = SystemConfig::scaled(8);
+    cfg.max_outstanding = 1;
+    // Aggregate bounce = 4 groups x (L3/4) = the L3 capacity; each
+    // group's region (4096 lines) is twice one L2's capacity, so lines
+    // keep cycling L2 -> L3 -> L2 after the cold pass.
+    let region = cfg.l3_lines_total() / 4;
+    let mut sys = System::new(cfg, micro(only("bounce"), region, 0.0)).unwrap();
+    let stats = sys.run(30_000);
+    assert!(
+        stats.fills_from_l3 > stats.fills_from_memory,
+        "L3 fills ({}) must dominate memory fills ({})",
+        stats.fills_from_l3,
+        stats.fills_from_memory
+    );
+    let mean = stats.miss_latency.mean();
+    assert!(
+        (140.0..300.0).contains(&mean),
+        "L3 path mean {mean:.0} outside [140, 300]"
+    );
+}
+
+/// Migratory read-modify-write data at 1 outstanding load: lines hop
+/// between L2s as dirty interventions. Mean miss latency must approach
+/// the 77-cycle L2-to-L2 transfer (plus upgrade traffic).
+#[test]
+fn l2_intervention_latency_near_77() {
+    let mut cfg = SystemConfig::scaled(8);
+    cfg.max_outstanding = 1;
+    let mut sys = System::new(cfg, micro(only("migratory"), 64, 0.0)).unwrap();
+    let stats = sys.run(10_000);
+    assert!(
+        stats.fills_from_l2 > stats.fills_from_l3 + stats.fills_from_memory,
+        "interventions ({}) must dominate off-chip fills ({})",
+        stats.fills_from_l2,
+        stats.fills_from_l3 + stats.fills_from_memory
+    );
+    let mean = stats.miss_latency.mean();
+    assert!(
+        (60.0..140.0).contains(&mean),
+        "L2-to-L2 path mean {mean:.0} outside [60, 140]"
+    );
+}
+
+/// The three paths must be strictly ordered: L2-to-L2 < L3 < memory —
+/// the premise of both of the paper's mechanisms.
+#[test]
+fn latency_ordering_matches_table3() {
+    let run_mean = |segment: &str, region: u64, refs: u64| {
+        let mut cfg = SystemConfig::scaled(8);
+        cfg.max_outstanding = 1;
+        let mut sys = System::new(cfg, micro(only(segment), region, 0.0)).unwrap();
+        sys.run(refs).miss_latency.mean()
+    };
+    let l2l2 = run_mean("migratory", 64, 8_000);
+    let mem = run_mean("streaming", 16, 2_000);
+    let mut cfg = SystemConfig::scaled(8);
+    cfg.max_outstanding = 1;
+    let region = cfg.l3_lines_total() / 4;
+    let mut sys = System::new(cfg, micro(only("bounce"), region, 0.0)).unwrap();
+    let l3 = sys.run(30_000).miss_latency.mean();
+    assert!(
+        l2l2 < l3 && l3 < mem,
+        "expected L2-L2 ({l2l2:.0}) < L3 ({l3:.0}) < memory ({mem:.0})"
+    );
+    // "providing data via an L2-to-L2 transfer is more than twice as
+    // fast when compared to retrieving the line from the L3 cache" (§1).
+    assert!(l3 / l2l2 > 1.6, "L3/L2 ratio {:.2} too small", l3 / l2l2);
+}

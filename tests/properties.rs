@@ -1,0 +1,121 @@
+//! Property-based tests over whole simulations: for randomized workload
+//! parameters and policies, the system must terminate, conserve
+//! references, respect coherence invariants, and stay deterministic.
+
+use cmp_hierarchies::adaptive::{
+    PolicyConfig, SnarfConfig, System, SystemConfig, WbhtConfig,
+};
+use cmp_hierarchies::trace::{SegmentMix, WorkloadParams};
+use proptest::prelude::*;
+
+fn arb_mix() -> impl Strategy<Value = SegmentMix> {
+    // Random non-negative weights, normalized.
+    proptest::collection::vec(0.0f64..1.0, 6).prop_map(|w| {
+        let sum: f64 = w.iter().sum::<f64>().max(1e-9);
+        SegmentMix {
+            private: w[0] / sum,
+            bounce: w[1] / sum,
+            rotor: w[2] / sum,
+            shared: w[3] / sum,
+            migratory: w[4] / sum,
+            streaming: w[5] / sum,
+        }
+    })
+}
+
+fn arb_params() -> impl Strategy<Value = WorkloadParams> {
+    (
+        arb_mix(),
+        16u64..2048,
+        1.0f64..4.0,
+        0.0f64..0.5,
+        1u64..4,
+    )
+        .prop_map(|(mix, region, theta, store, interval)| WorkloadParams {
+            name: "prop".into(),
+            line_bytes: 128,
+            threads: 16,
+            issue_interval: interval,
+            mix,
+            private_lines: region,
+            private_theta: theta,
+            private_store_frac: store,
+            bounce_lines: region * 2,
+            bounce_group_threads: 4,
+            bounce_cross_frac: 0.2,
+            bounce_theta: theta,
+            bounce_store_frac: store / 2.0,
+            rotor_lines: region,
+            rotor_store_frac: store,
+            shared_lines: region,
+            shared_theta: theta,
+            shared_store_frac: store / 4.0,
+            migratory_lines: (region / 4).max(16),
+            migratory_rmw_frac: 0.5,
+        })
+}
+
+fn arb_policy() -> impl Strategy<Value = PolicyConfig> {
+    prop_oneof![
+        Just(PolicyConfig::Baseline),
+        (256u64..2048u64).prop_map(|e| {
+            PolicyConfig::Wbht(WbhtConfig {
+                entries: e.next_power_of_two(),
+                ..Default::default()
+            })
+        }),
+        (256u64..2048u64).prop_map(|e| {
+            PolicyConfig::Snarf(SnarfConfig {
+                entries: e.next_power_of_two(),
+                ..Default::default()
+            })
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any valid workload/policy combination terminates, processes every
+    /// reference, and ends with coherent caches.
+    #[test]
+    fn simulations_terminate_and_stay_coherent(
+        params in arb_params(),
+        policy in arb_policy(),
+        pressure in 1u32..7,
+    ) {
+        let mut cfg = SystemConfig::scaled(16);
+        cfg.policy = policy;
+        cfg.max_outstanding = pressure;
+        let mut sys = System::new(cfg, params).unwrap();
+        let refs = 800u64;
+        let stats = sys.run(refs);
+        prop_assert_eq!(stats.refs, refs * 16);
+        prop_assert!(stats.cycles > 0);
+        prop_assert_eq!(stats.loads + stats.stores, stats.refs);
+        sys.check_invariants();
+        // Castout outcome accounting can never exceed issued requests.
+        let outcomes = stats.wb.clean_squashed_l3
+            + stats.wb.squashed_peer
+            + stats.wb.snarfed
+            + stats.wb.accepted_l3;
+        prop_assert!(outcomes <= stats.wb.requests());
+    }
+
+    /// Bit-identical reruns: the simulator is a pure function of
+    /// (config, workload, seed).
+    #[test]
+    fn reruns_are_bit_identical(params in arb_params(), seed in any::<u64>()) {
+        let mut cfg = SystemConfig::scaled(16);
+        cfg.seed = seed;
+        cfg.max_outstanding = 4;
+        let mut a = System::new(cfg.clone(), params.clone()).unwrap();
+        let mut b = System::new(cfg, params).unwrap();
+        let sa = a.run(500);
+        let sb = b.run(500);
+        prop_assert_eq!(sa.cycles, sb.cycles);
+        prop_assert_eq!(sa.retries_total, sb.retries_total);
+        prop_assert_eq!(sa.wb.requests(), sb.wb.requests());
+        prop_assert_eq!(sa.fills_from_memory, sb.fills_from_memory);
+    }
+}
