@@ -9,7 +9,14 @@ fn params(seed: u64) -> WorkloadParams {
         line_bytes: 128,
         threads: 16,
         issue_interval: 1,
-        mix: SegmentMix { private: 0.1, bounce: 0.1, rotor: 0.5, shared: 0.2, migratory: 0.05, streaming: 0.05 },
+        mix: SegmentMix {
+            private: 0.1,
+            bounce: 0.1,
+            rotor: 0.5,
+            shared: 0.2,
+            migratory: 0.05,
+            streaming: 0.05,
+        },
         private_lines: 128,
         private_theta: 2.0,
         private_store_frac: 0.3,
@@ -31,7 +38,10 @@ fn params(seed: u64) -> WorkloadParams {
 fn main() {
     for seed in 0..40u64 {
         let mut cfg = SystemConfig::scaled(16);
-        cfg.policy = PolicyConfig::Snarf(SnarfConfig { entries: 512, ..Default::default() });
+        cfg.policy = PolicyConfig::Snarf(SnarfConfig {
+            entries: 512,
+            ..Default::default()
+        });
         cfg.max_outstanding = 6;
         cfg.seed = seed;
         let mut sys = System::new(cfg, params(seed)).unwrap();

@@ -6,13 +6,21 @@
 //! probe [scale_factor] [refs_per_thread]
 //! ```
 
-use cmp_adaptive_wb::{run, PolicyConfig, RunSpec, SystemConfig, WbhtConfig, SnarfConfig, RetrySwitchConfig};
+use cmp_adaptive_wb::{
+    run, PolicyConfig, RetrySwitchConfig, RunSpec, SnarfConfig, SystemConfig, WbhtConfig,
+};
 use cmpsim_trace::Workload;
 use std::time::Instant;
 
 fn main() {
-    let factor: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
-    let refs: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    let factor: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let refs: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
     for wl in Workload::all() {
         let mut cfg = SystemConfig::scaled(factor);
         cfg.max_outstanding = 6;
@@ -22,27 +30,54 @@ fn main() {
         let base = run(spec).unwrap();
         let dt = t0.elapsed();
         let s = &base.stats;
-        println!("== {wl} base: cycles={} refs={} wall={:?} ({:.1} Mref/s)", s.cycles, s.refs, dt, s.refs as f64/dt.as_secs_f64()/1e6);
-        println!("   l1_hit={:.1}% l2_hit={:.1}% l3_load_hit={:.1}% fills l2/l3/mem={}/{}/{}",
-            100.0*s.l1_hits as f64/s.refs as f64, 100.0*s.l2_hit_rate(),
-            100.0*base.l3.read_hits as f64/(base.l3.read_hits+base.l3.read_misses).max(1) as f64,
-            s.fills_from_l2, s.fills_from_l3, s.fills_from_memory);
+        println!(
+            "== {wl} base: cycles={} refs={} wall={:?} ({:.1} Mref/s)",
+            s.cycles,
+            s.refs,
+            dt,
+            s.refs as f64 / dt.as_secs_f64() / 1e6
+        );
+        println!(
+            "   l1_hit={:.1}% l2_hit={:.1}% l3_load_hit={:.1}% fills l2/l3/mem={}/{}/{}",
+            100.0 * s.l1_hits as f64 / s.refs as f64,
+            100.0 * s.l2_hit_rate(),
+            100.0 * base.l3.read_hits as f64
+                / (base.l3.read_hits + base.l3.read_misses).max(1) as f64,
+            s.fills_from_l2,
+            s.fills_from_l3,
+            s.fills_from_memory
+        );
         println!("   wb: clean_req={} dirty_req={} clean_redundant={:.1}% retries_l3={} retries_total={} upgrades={}",
             s.wb.clean_requests, s.wb.dirty_requests, 100.0*s.wb.clean_redundant_rate(), s.retries_l3, s.retries_total, s.upgrades);
-        println!("   reuse: total={:.1}% accepted={:.1}%", 100.0*s.wb_reuse.reuse_rate_total(), 100.0*s.wb_reuse.reuse_rate_accepted());
+        println!(
+            "   reuse: total={:.1}% accepted={:.1}%",
+            100.0 * s.wb_reuse.reuse_rate_total(),
+            100.0 * s.wb_reuse.reuse_rate_accepted()
+        );
 
         // WBHT run
         let mut cfgw = cfg.clone();
-        cfgw.policy = PolicyConfig::Wbht(WbhtConfig { entries: (32*1024/factor).max(512), ..Default::default() });
+        cfgw.policy = PolicyConfig::Wbht(WbhtConfig {
+            entries: (32 * 1024 / factor).max(512),
+            ..Default::default()
+        });
         let mut spec = RunSpec::for_workload(cfgw, wl, refs);
         spec.retry_switch = Some(RetrySwitchConfig::scaled(factor));
         let w = run(spec).unwrap();
-        println!("   WBHT: improvement={:+.2}% aborted={} correct={:.1}% decisions={}",
-            w.improvement_over(&base), w.stats.wb.clean_aborted, 100.0*w.wbht.correct_rate(), w.wbht.decisions);
+        println!(
+            "   WBHT: improvement={:+.2}% aborted={} correct={:.1}% decisions={}",
+            w.improvement_over(&base),
+            w.stats.wb.clean_aborted,
+            100.0 * w.wbht.correct_rate(),
+            w.wbht.decisions
+        );
 
         // Snarf run
         let mut cfgs = cfg.clone();
-        cfgs.policy = PolicyConfig::Snarf(SnarfConfig { entries: (32*1024/factor).max(512), ..Default::default() });
+        cfgs.policy = PolicyConfig::Snarf(SnarfConfig {
+            entries: (32 * 1024 / factor).max(512),
+            ..Default::default()
+        });
         let mut spec = RunSpec::for_workload(cfgs, wl, refs);
         spec.retry_switch = Some(RetrySwitchConfig::scaled(factor));
         let sn = run(spec).unwrap();
@@ -51,8 +86,10 @@ fn main() {
             100.0*sn.stats.snarf.intervention_use_rate(), sn.stats.wb.squashed_peer, sn.stats.retries_l3,
             100.0*(1.0 - sn.stats.off_chip_accesses() as f64/base.stats.off_chip_accesses().max(1) as f64));
         if let Some(ts) = sn.snarf_table {
-            println!("   snarf-table: recorded={} use_bits={} eligible={} not_eligible={}",
-                ts.recorded, ts.use_bits_set, ts.eligible, ts.not_eligible);
+            println!(
+                "   snarf-table: recorded={} use_bits={} eligible={} not_eligible={}",
+                ts.recorded, ts.use_bits_set, ts.eligible, ts.not_eligible
+            );
         }
     }
 }

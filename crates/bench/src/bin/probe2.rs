@@ -1,17 +1,52 @@
 //! Internal calibration probe: local- vs global-update WBHT and snarf
 //! comparisons at 6 outstanding loads (used while tuning Figure 2/3
 //! behaviour; kept for future recalibration work).
-use cmp_adaptive_wb::{run, PolicyConfig, RunSpec, SystemConfig, WbhtConfig, SnarfConfig, UpdateScope};
+use cmp_adaptive_wb::{
+    run, PolicyConfig, RunSpec, SnarfConfig, SystemConfig, UpdateScope, WbhtConfig,
+};
 use cmpsim_trace::Workload;
 fn main() {
-    let refs: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    let refs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
     for wl in Workload::all() {
-        let cfg = |p: PolicyConfig| { let mut c = SystemConfig::scaled(8); c.max_outstanding = 6; c.policy = p; c };
+        let cfg = |p: PolicyConfig| {
+            let mut c = SystemConfig::scaled(8);
+            c.max_outstanding = 6;
+            c.policy = p;
+            c
+        };
         let base = run(RunSpec::for_workload(cfg(PolicyConfig::Baseline), wl, refs)).unwrap();
-        let wl_ = |scope| PolicyConfig::Wbht(WbhtConfig { entries: 4096, assoc: 16, scope, granularity: 1 });
-        let local = run(RunSpec::for_workload(cfg(wl_(UpdateScope::Local)), wl, refs)).unwrap();
-        let global = run(RunSpec::for_workload(cfg(wl_(UpdateScope::Global)), wl, refs)).unwrap();
-        let sn = run(RunSpec::for_workload(cfg(PolicyConfig::Snarf(SnarfConfig{entries:4096,..Default::default()})), wl, refs)).unwrap();
+        let wl_ = |scope| {
+            PolicyConfig::Wbht(WbhtConfig {
+                entries: 4096,
+                assoc: 16,
+                scope,
+                granularity: 1,
+            })
+        };
+        let local = run(RunSpec::for_workload(
+            cfg(wl_(UpdateScope::Local)),
+            wl,
+            refs,
+        ))
+        .unwrap();
+        let global = run(RunSpec::for_workload(
+            cfg(wl_(UpdateScope::Global)),
+            wl,
+            refs,
+        ))
+        .unwrap();
+        let sn = run(RunSpec::for_workload(
+            cfg(PolicyConfig::Snarf(SnarfConfig {
+                entries: 4096,
+                ..Default::default()
+            })),
+            wl,
+            refs,
+        ))
+        .unwrap();
         println!("{:<11} base={:>8}  wbht-local={:+.1}%  wbht-global={:+.1}%  snarf={:+.1}% (snarfed={} squash={} retries {}->{})",
             wl.name(), base.stats.cycles,
             local.improvement_over(&base), global.improvement_over(&base), sn.improvement_over(&base),

@@ -32,16 +32,29 @@ fn main() {
     let p = profile(&records, 128, 4);
     println!("records          : {}", p.records);
     println!("stores           : {:.1}%", p.store_permille as f64 / 10.0);
-    println!("footprint        : {} lines ({} KB)", p.footprint_lines, p.footprint_lines * 128 / 1024);
-    println!("shared lines     : {} ({:.1}%)", p.shared_lines,
-        100.0 * p.shared_lines as f64 / p.footprint_lines.max(1) as f64);
-    println!("cross-L2 lines   : {} ({:.1}%)", p.cross_l2_lines,
-        100.0 * p.cross_l2_lines as f64 / p.footprint_lines.max(1) as f64);
+    println!(
+        "footprint        : {} lines ({} KB)",
+        p.footprint_lines,
+        p.footprint_lines * 128 / 1024
+    );
+    println!(
+        "shared lines     : {} ({:.1}%)",
+        p.shared_lines,
+        100.0 * p.shared_lines as f64 / p.footprint_lines.max(1) as f64
+    );
+    println!(
+        "cross-L2 lines   : {} ({:.1}%)",
+        p.cross_l2_lines,
+        100.0 * p.cross_l2_lines as f64 / p.footprint_lines.max(1) as f64
+    );
     println!("hottest line     : {} touches", p.max_line_touches);
 
     let rd = ReuseDistances::from_records(&records, 128);
-    println!("cold misses      : {} ({:.1}%)", rd.cold_misses(),
-        100.0 * rd.cold_misses() as f64 / rd.total().max(1) as f64);
+    println!(
+        "cold misses      : {} ({:.1}%)",
+        rd.cold_misses(),
+        100.0 * rd.cold_misses() as f64 / rd.total().max(1) as f64
+    );
     println!("\npredicted fully-associative LRU hit rates:");
     for (label, lines) in [
         ("L1 (32 KB)", 256u64),

@@ -19,10 +19,7 @@ pub fn run(p: &Profile) -> String {
         .collect();
     let mut sizes = sizes;
     sizes.dedup();
-    size_sweep(p, &sizes, |p, sz| {
-        wbht_cfg(p, 6, sz, UpdateScope::Local)
-    })
-    .render()
+    size_sweep(p, &sizes, |p, sz| wbht_cfg(p, 6, sz, UpdateScope::Local)).render()
 }
 
 #[cfg(test)]

@@ -9,11 +9,7 @@ use crate::{Profile, Table};
 /// Renders the configuration table.
 pub fn run(p: &Profile) -> String {
     let c = p.config();
-    let mut t = Table::new(vec![
-        "Parameter".into(),
-        "This run".into(),
-        "Paper".into(),
-    ]);
+    let mut t = Table::new(vec!["Parameter".into(), "This run".into(), "Paper".into()]);
     let l2_total = c.l2_slices * c.l2_slice_bytes / 1024;
     let l3_slice_kb = c.l3.geometry.per_slice().size_bytes() / 1024;
     let rows: Vec<(String, String, &str)> = vec![
@@ -24,15 +20,19 @@ pub fn run(p: &Profile) -> String {
         ),
         (
             "L2 size".into(),
-            format!("{} slices, {} KB each", c.l2_slices, c.l2_slice_bytes / 1024),
+            format!(
+                "{} slices, {} KB each",
+                c.l2_slices,
+                c.l2_slice_bytes / 1024
+            ),
             "4 slices, 512 KB each",
         ),
+        ("Number of L2 caches".into(), format!("{}", c.num_l2), "4"),
         (
-            "Number of L2 caches".into(),
-            format!("{}", c.num_l2),
-            "4",
+            "L2 associativity".into(),
+            format!("{}-way", c.l2_assoc),
+            "8-way",
         ),
-        ("L2 associativity".into(), format!("{}-way", c.l2_assoc), "8-way"),
         (
             "L2 latency".into(),
             format!("{} cycles", c.l2_hit_cycles),
@@ -40,11 +40,7 @@ pub fn run(p: &Profile) -> String {
         ),
         (
             "L3 size".into(),
-            format!(
-                "{} slices, {} KB each",
-                c.l3.geometry.slices(),
-                l3_slice_kb
-            ),
+            format!("{} slices, {} KB each", c.l3.geometry.slices(), l3_slice_kb),
             "4 slices, 4 MB each",
         ),
         (
@@ -70,11 +66,7 @@ pub fn run(p: &Profile) -> String {
             format!("{} KB", l2_total),
             "2048 KB",
         ),
-        (
-            "Line size".into(),
-            format!("{} B", c.line_bytes),
-            "128 B",
-        ),
+        ("Line size".into(), format!("{} B", c.line_bytes), "128 B"),
     ];
     for (a, b, c) in rows {
         t.row(vec![a, b, c.to_string()]);

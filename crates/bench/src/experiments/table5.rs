@@ -40,12 +40,12 @@ pub fn run(p: &Profile) -> String {
             - sn.stats.off_chip_accesses() as f64 / base.stats.off_chip_accesses().max(1) as f64;
         rows[1].push(pct(off_red));
         rows[2].push(pct(
-            sn.stats.snarf.snarfed as f64 / sn.stats.wb.requests().max(1) as f64,
+            sn.stats.snarf.snarfed as f64 / sn.stats.wb.requests().max(1) as f64
         ));
         rows[3].push(pct(sn.stats.snarf.local_use_rate()));
         rows[4].push(pct(sn.stats.snarf.intervention_use_rate()));
         rows[5].push(pp(
-            (sn.stats.l2_hit_rate() - base.stats.l2_hit_rate()) * 100.0,
+            (sn.stats.l2_hit_rate() - base.stats.l2_hit_rate()) * 100.0
         ));
         let retry_red = 1.0 - sn.stats.retries_l3 as f64 / base.stats.retries_l3.max(1) as f64;
         rows[6].push(pct(retry_red));

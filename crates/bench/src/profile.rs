@@ -117,7 +117,9 @@ pub fn parallel_runs(specs: Vec<RunSpec>) -> Vec<RunReport> {
             out[idx] = Some(report);
         }
     }
-    out.into_iter().map(|r| r.expect("all runs joined")).collect()
+    out.into_iter()
+        .map(|r| r.expect("all runs joined"))
+        .collect()
 }
 
 #[cfg(test)]

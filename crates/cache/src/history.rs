@@ -119,7 +119,11 @@ impl<P: Copy + Default> HistoryTable<P> {
             return;
         }
         self.stats.allocs += 1;
-        if self.tags.insert(line, payload, InsertPosition::Mru).is_some() {
+        if self
+            .tags
+            .insert(line, payload, InsertPosition::Mru)
+            .is_some()
+        {
             self.stats.evictions += 1;
         }
     }

@@ -303,9 +303,7 @@ impl<S: Copy + Default> TagArray<S> {
                 let set = self.geom.set_of(line) as usize;
                 base + self.plru_victim(set)
             }
-            ReplacementPolicy::Random => {
-                base + self.rng.gen_range(self.geom.assoc()) as usize
-            }
+            ReplacementPolicy::Random => base + self.rng.gen_range(self.geom.assoc()) as usize,
         }
     }
 
@@ -508,7 +506,9 @@ mod tests {
     fn different_sets_do_not_conflict() {
         let mut t = small();
         for i in 0..4 {
-            assert!(t.insert(LineAddr::new(i), i as u8, InsertPosition::Mru).is_none());
+            assert!(t
+                .insert(LineAddr::new(i), i as u8, InsertPosition::Mru)
+                .is_none());
         }
         assert_eq!(t.valid_lines(), 4);
         assert_eq!(t.iter_valid().count(), 4);

@@ -186,7 +186,9 @@ impl SnoopCollector {
             // The L3 would have been the source but lacks resources.
             return CombinedResponse::Retry { l3_issued: true };
         } else if let Some(s) = l3_hit {
-            DataSource::L3 { dirty: s.is_dirty() }
+            DataSource::L3 {
+                dirty: s.is_dirty(),
+            }
         } else {
             DataSource::Memory
         };
@@ -267,7 +269,9 @@ impl SnoopCollector {
                     }
                 }
                 if l3_hit || l3_accept {
-                    CombinedResponse::Wb(WbOutcome::AcceptedByL3 { was_present: l3_hit })
+                    CombinedResponse::Wb(WbOutcome::AcceptedByL3 {
+                        was_present: l3_hit,
+                    })
                 } else {
                     debug_assert!(l3_retry, "L3 must answer castouts");
                     CombinedResponse::Retry { l3_issued: true }
@@ -445,11 +449,17 @@ mod tests {
     fn upgrade_ok_and_retry() {
         let mut c = SnoopCollector::new();
         assert_eq!(
-            c.combine(&txn(TxnKind::Upgrade), &[SnoopResponse::SharedNoIntervene(L2Id::new(1))]),
+            c.combine(
+                &txn(TxnKind::Upgrade),
+                &[SnoopResponse::SharedNoIntervene(L2Id::new(1))]
+            ),
             CombinedResponse::UpgradeOk
         );
         assert_eq!(
-            c.combine(&txn(TxnKind::Upgrade), &[SnoopResponse::L2Retry(L2Id::new(1))]),
+            c.combine(
+                &txn(TxnKind::Upgrade),
+                &[SnoopResponse::L2Retry(L2Id::new(1))]
+            ),
             CombinedResponse::Retry { l3_issued: false }
         );
     }
@@ -504,7 +514,10 @@ mod tests {
         let mut c = SnoopCollector::new();
         let r = c.combine(
             &txn(TxnKind::CastoutClean).with_snarf(),
-            &[SnoopResponse::SnarfAccept(L2Id::new(1)), SnoopResponse::L3Accept],
+            &[
+                SnoopResponse::SnarfAccept(L2Id::new(1)),
+                SnoopResponse::L3Accept,
+            ],
         );
         assert_eq!(r, CombinedResponse::Wb(WbOutcome::SnarfedBy(L2Id::new(1))));
     }
@@ -514,7 +527,10 @@ mod tests {
         let mut c = SnoopCollector::new();
         let r = c.combine(
             &txn(TxnKind::CastoutClean),
-            &[SnoopResponse::SnarfAccept(L2Id::new(1)), SnoopResponse::L3Accept],
+            &[
+                SnoopResponse::SnarfAccept(L2Id::new(1)),
+                SnoopResponse::L3Accept,
+            ],
         );
         assert_eq!(
             r,
@@ -560,7 +576,10 @@ mod tests {
         let mut c = SnoopCollector::new();
         let r = c.combine(
             &txn(TxnKind::CastoutDirty).with_snarf(),
-            &[SnoopResponse::PeerHasCopy(L2Id::new(1)), SnoopResponse::L3Accept],
+            &[
+                SnoopResponse::PeerHasCopy(L2Id::new(1)),
+                SnoopResponse::L3Accept,
+            ],
         );
         assert_eq!(
             r,
@@ -570,7 +589,11 @@ mod tests {
 
     #[test]
     fn data_source_classification() {
-        assert!(DataSource::L2 { provider: L2Id::new(0), dirty: false }.is_intervention());
+        assert!(DataSource::L2 {
+            provider: L2Id::new(0),
+            dirty: false
+        }
+        .is_intervention());
         assert!(DataSource::L3 { dirty: false }.is_off_chip());
         assert!(DataSource::Memory.is_off_chip());
     }

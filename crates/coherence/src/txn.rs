@@ -86,7 +86,11 @@ impl BusTxn {
 
 impl fmt::Display for BusTxn {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} {} from {}", self.id, self.kind, self.line, self.src)?;
+        write!(
+            f,
+            "{} {} {} from {}",
+            self.id, self.kind, self.line, self.src
+        )?;
         if self.snarf_eligible {
             f.write_str(" [snarf]")?;
         }
@@ -156,7 +160,12 @@ mod tests {
 
     #[test]
     fn snarf_bit() {
-        let t = BusTxn::new(TxnId::ZERO, TxnKind::CastoutClean, LineAddr::new(4), L2Id::new(1));
+        let t = BusTxn::new(
+            TxnId::ZERO,
+            TxnKind::CastoutClean,
+            LineAddr::new(4),
+            L2Id::new(1),
+        );
         assert!(!t.snarf_eligible);
         let t2 = t.with_snarf();
         assert!(t2.snarf_eligible);
@@ -173,7 +182,12 @@ mod tests {
 
     #[test]
     fn txn_display() {
-        let t = BusTxn::new(TxnId::ZERO, TxnKind::ReadShared, LineAddr::new(4), L2Id::new(1));
+        let t = BusTxn::new(
+            TxnId::ZERO,
+            TxnKind::ReadShared,
+            LineAddr::new(4),
+            L2Id::new(1),
+        );
         let s = t.to_string();
         assert!(s.contains("read"));
         assert!(s.contains("L2#1"));

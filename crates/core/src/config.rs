@@ -1,11 +1,11 @@
 //! Whole-system configuration.
 
 use cmpsim_cache::GeometryError;
+use cmpsim_coherence::L2Id;
+use cmpsim_engine::Cycle;
 use cmpsim_mem::{L3Config, MemoryConfig};
 use cmpsim_ring::RingConfig;
 use cmpsim_trace::ThreadId;
-use cmpsim_coherence::L2Id;
-use cmpsim_engine::Cycle;
 
 use crate::policy::{PolicyConfig, RetrySwitchConfig};
 

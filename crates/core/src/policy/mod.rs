@@ -72,8 +72,6 @@ impl PolicyConfig {
     }
 }
 
-
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,5 +1,6 @@
 //! The retry-rate on/off switch for the WBHT (paper §2.2).
 
+use cmpsim_engine::telemetry::{SimEvent, Telemetry};
 use cmpsim_engine::Cycle;
 
 /// Configuration of the retry-rate switch.
@@ -65,6 +66,7 @@ pub struct RetrySwitch {
     total_retries: u64,
     engaged_windows: u64,
     windows: u64,
+    telemetry: Telemetry,
 }
 
 impl RetrySwitch {
@@ -78,12 +80,31 @@ impl RetrySwitch {
             total_retries: 0,
             engaged_windows: 0,
             windows: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches an event-trace handle; each engaged/disengaged flip is
+    /// emitted as a [`SimEvent::RetrySwitchFlip`] stamped with the window
+    /// boundary at which the decision took effect.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     fn roll(&mut self, now: Cycle) {
         while now >= self.window_start + self.cfg.window {
-            self.engaged = self.count_this_window >= self.cfg.threshold;
+            let next = self.count_this_window >= self.cfg.threshold;
+            if next != self.engaged {
+                let boundary = self.window_start + self.cfg.window;
+                let window_retries = self.count_this_window;
+                let threshold = self.cfg.threshold;
+                self.telemetry.emit(boundary, || SimEvent::RetrySwitchFlip {
+                    engaged: next,
+                    window_retries,
+                    threshold,
+                });
+            }
+            self.engaged = next;
             self.windows += 1;
             if self.engaged {
                 self.engaged_windows += 1;
@@ -160,7 +181,7 @@ mod tests {
             s.record_retry(t);
         }
         assert!(s.engaged(100)); // window 0 busy
-        // Window 1 quiet (no retries recorded 100..200).
+                                 // Window 1 quiet (no retries recorded 100..200).
         assert!(!s.engaged(200));
     }
 
@@ -185,6 +206,31 @@ mod tests {
         let (engaged, total) = s.window_counts();
         assert_eq!(total, 2); // windows 0 and 1 completed by t=250
         assert_eq!(engaged, 1);
+    }
+
+    #[test]
+    fn telemetry_traces_flips_only() {
+        use cmpsim_engine::telemetry::{SimEvent, Telemetry};
+
+        let (t, sink) = Telemetry::with_vec_sink();
+        let mut s = RetrySwitch::new(cfg());
+        s.attach_telemetry(t);
+        for t in 0..10 {
+            s.record_retry(t);
+        }
+        assert!(s.engaged(100)); // flip on at the 100 boundary
+        assert!(s.engaged(150)); // still on: no event
+        assert!(!s.engaged(300)); // quiet window 100..200: flip off at 200
+        let sink = sink.lock().unwrap();
+        let flips: Vec<(Cycle, bool)> = sink
+            .events()
+            .iter()
+            .map(|(at, e)| match e {
+                SimEvent::RetrySwitchFlip { engaged, .. } => (*at, *engaged),
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(flips, [(100, true), (200, false)]);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! The L2-to-L2 snarf (reuse) table (paper §3).
 
 use cmpsim_cache::{GeometryError, HistoryTable, InsertPosition, LineAddr};
+use cmpsim_engine::telemetry::{SimEvent, Telemetry};
+use cmpsim_engine::Cycle;
 
 /// Snarf mechanism configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +73,7 @@ pub struct SnarfTable {
     table: HistoryTable<bool>,
     cfg: SnarfConfig,
     stats: SnarfStats,
+    telemetry: Telemetry,
 }
 
 impl SnarfTable {
@@ -84,7 +87,24 @@ impl SnarfTable {
             table: HistoryTable::new(cfg.entries, cfg.assoc)?,
             cfg,
             stats: SnarfStats::default(),
+            telemetry: Telemetry::disabled(),
         })
+    }
+
+    /// Attaches an event-trace handle for arbitration-outcome events.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Records the bus-level outcome of a snarf-eligible castout: which
+    /// peer (if any) won the line. Emits a
+    /// [`SimEvent::SnarfArbitration`] when tracing is enabled.
+    pub fn record_arbitration(&self, now: Cycle, l2: u32, line: LineAddr, winner: Option<u32>) {
+        self.telemetry.emit(now, || SimEvent::SnarfArbitration {
+            l2,
+            line: line.raw(),
+            winner,
+        });
     }
 
     /// The configuration.
@@ -214,5 +234,25 @@ mod tests {
     fn paper_geometry_constructs() {
         let t = SnarfTable::new(SnarfConfig::default()).unwrap();
         assert_eq!(t.config().entries, 32 * 1024);
+    }
+
+    #[test]
+    fn telemetry_traces_arbitration_outcomes() {
+        use cmpsim_engine::telemetry::{SimEvent, Telemetry};
+
+        let (tel, sink) = Telemetry::with_vec_sink();
+        let mut t = table();
+        t.attach_telemetry(tel);
+        t.record_arbitration(7, 1, LineAddr::new(42), Some(3));
+        t.record_arbitration(9, 1, LineAddr::new(43), None);
+        let sink = sink.lock().unwrap();
+        assert_eq!(sink.events().len(), 2);
+        match &sink.events()[0].1 {
+            SimEvent::SnarfArbitration { l2, line, winner } => {
+                assert_eq!((*l2, *line, *winner), (1, 42, Some(3)));
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        assert!(sink.events()[1].1.to_json(9).contains("\"winner\":null"));
     }
 }

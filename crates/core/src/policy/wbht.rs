@@ -1,6 +1,8 @@
 //! The Write-Back History Table (paper §2).
 
 use cmpsim_cache::{GeometryError, HistoryTable, LineAddr};
+use cmpsim_engine::telemetry::{SimEvent, Telemetry};
+use cmpsim_engine::Cycle;
 
 /// Whose WBHT is updated when the combined snoop response reveals that a
 /// clean write-back was already valid in the L3.
@@ -97,9 +99,9 @@ impl WbhtStats {
 ///
 /// let mut wbht = Wbht::new(WbhtConfig { entries: 1024, ..Default::default() })?;
 /// let line = LineAddr::new(7);
-/// assert!(!wbht.should_abort(line, /* engaged= */ true, /* in_l3= */ false));
-/// wbht.note_redundant(line);
-/// assert!(wbht.should_abort(line, true, true));
+/// assert!(!wbht.should_abort(0, line, /* engaged= */ true, /* in_l3= */ false));
+/// wbht.note_redundant(10, line);
+/// assert!(wbht.should_abort(20, line, true, true));
 /// # Ok::<(), cmpsim_cache::GeometryError>(())
 /// ```
 #[derive(Debug, Clone)]
@@ -107,6 +109,8 @@ pub struct Wbht {
     table: HistoryTable<()>,
     cfg: WbhtConfig,
     stats: WbhtStats,
+    telemetry: Telemetry,
+    owner: u32,
 }
 
 impl Wbht {
@@ -127,7 +131,16 @@ impl Wbht {
             table: HistoryTable::new(cfg.entries, cfg.assoc)?,
             cfg,
             stats: WbhtStats::default(),
+            telemetry: Telemetry::disabled(),
+            owner: 0,
         })
+    }
+
+    /// Attaches an event-trace handle; `owner` is the id of the L2 slice
+    /// this table belongs to (stamped on every emitted event).
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry, owner: u32) {
+        self.telemetry = telemetry;
+        self.owner = owner;
     }
 
     /// Maps a line to its covering table tag (granularity > 1 folds
@@ -147,31 +160,55 @@ impl Wbht {
     /// still *consulted* (to keep LRU state realistic) but the write-back
     /// always proceeds and no decision is recorded. `in_l3` is the
     /// oracle's ground truth, used only for the Table 4 "WBHT Correct"
-    /// statistic.
-    pub fn should_abort(&mut self, line: LineAddr, engaged: bool, in_l3: bool) -> bool {
+    /// statistic. `now` stamps the emitted trace events.
+    pub fn should_abort(&mut self, now: Cycle, line: LineAddr, engaged: bool, in_l3: bool) -> bool {
         let tag = self.tag_of(line);
         let hit = self.table.lookup(tag).is_some();
         if !engaged {
             return false;
         }
         self.stats.decisions += 1;
-        if hit {
+        let correct = if hit {
             self.stats.aborted += 1;
             if in_l3 {
                 self.stats.correct += 1;
             }
-        } else if !in_l3 {
-            self.stats.correct += 1;
+            in_l3
+        } else {
+            if !in_l3 {
+                self.stats.correct += 1;
+            }
+            !in_l3
+        };
+        let owner = self.owner;
+        self.telemetry.emit(now, || SimEvent::WbhtPredict {
+            l2: owner,
+            line: line.raw(),
+            engaged,
+            abort: hit,
+            correct,
+        });
+        if !correct {
+            self.telemetry.emit(now, || SimEvent::WbhtMispredict {
+                l2: owner,
+                line: line.raw(),
+                abort: hit,
+            });
         }
         hit
     }
 
     /// Records that the L3 reported `line` already valid on a clean
     /// write-back (combined-response step 3 of §2): allocates an entry.
-    pub fn note_redundant(&mut self, line: LineAddr) {
+    pub fn note_redundant(&mut self, now: Cycle, line: LineAddr) {
         let tag = self.tag_of(line);
         self.table.record(tag, ());
         self.stats.allocated += 1;
+        let owner = self.owner;
+        self.telemetry.emit(now, || SimEvent::WbhtAllocate {
+            l2: owner,
+            line: line.raw(),
+        });
     }
 
     /// Pure peek: does the table currently cover `line`? No recency or
@@ -211,7 +248,7 @@ mod tests {
     #[test]
     fn unknown_line_writes_back() {
         let mut w = wbht();
-        assert!(!w.should_abort(LineAddr::new(1), true, false));
+        assert!(!w.should_abort(0, LineAddr::new(1), true, false));
         assert_eq!(w.stats().decisions, 1);
         assert_eq!(w.stats().aborted, 0);
         assert_eq!(w.stats().correct, 1); // not in L3, wrote back: correct
@@ -220,8 +257,8 @@ mod tests {
     #[test]
     fn known_line_aborts() {
         let mut w = wbht();
-        w.note_redundant(LineAddr::new(1));
-        assert!(w.should_abort(LineAddr::new(1), true, true));
+        w.note_redundant(0, LineAddr::new(1));
+        assert!(w.should_abort(0, LineAddr::new(1), true, true));
         assert_eq!(w.stats().aborted, 1);
         assert_eq!(w.stats().correct, 1);
     }
@@ -229,8 +266,8 @@ mod tests {
     #[test]
     fn disengaged_never_aborts_or_counts() {
         let mut w = wbht();
-        w.note_redundant(LineAddr::new(1));
-        assert!(!w.should_abort(LineAddr::new(1), false, true));
+        w.note_redundant(0, LineAddr::new(1));
+        assert!(!w.should_abort(0, LineAddr::new(1), false, true));
         assert_eq!(w.stats().decisions, 0);
     }
 
@@ -238,10 +275,10 @@ mod tests {
     fn oracle_scores_mispredictions() {
         let mut w = wbht();
         // Abort but line NOT in L3 (stale entry): incorrect.
-        w.note_redundant(LineAddr::new(2));
-        assert!(w.should_abort(LineAddr::new(2), true, false));
+        w.note_redundant(0, LineAddr::new(2));
+        assert!(w.should_abort(0, LineAddr::new(2), true, false));
         // Write back but line IS in L3 (entry aged out): incorrect.
-        assert!(!w.should_abort(LineAddr::new(3), true, true));
+        assert!(!w.should_abort(0, LineAddr::new(3), true, true));
         assert_eq!(w.stats().decisions, 2);
         assert_eq!(w.stats().correct, 0);
         assert_eq!(w.stats().correct_rate(), 0.0);
@@ -257,19 +294,19 @@ mod tests {
         })
         .unwrap();
         // Fill one set (lines with same parity collide in a 2-set table).
-        w.note_redundant(LineAddr::new(0));
-        w.note_redundant(LineAddr::new(2));
-        w.note_redundant(LineAddr::new(4)); // evicts 0
-        assert!(!w.should_abort(LineAddr::new(0), true, true));
-        assert!(w.should_abort(LineAddr::new(4), true, true));
+        w.note_redundant(0, LineAddr::new(0));
+        w.note_redundant(0, LineAddr::new(2));
+        w.note_redundant(0, LineAddr::new(4)); // evicts 0
+        assert!(!w.should_abort(0, LineAddr::new(0), true, true));
+        assert!(w.should_abort(0, LineAddr::new(4), true, true));
     }
 
     #[test]
     fn stats_rates() {
         let mut w = wbht();
-        w.note_redundant(LineAddr::new(8));
-        w.should_abort(LineAddr::new(8), true, true); // abort, correct
-        w.should_abort(LineAddr::new(9), true, true); // wb, incorrect
+        w.note_redundant(0, LineAddr::new(8));
+        w.should_abort(0, LineAddr::new(8), true, true); // abort, correct
+        w.should_abort(0, LineAddr::new(9), true, true); // wb, incorrect
         assert!((w.stats().correct_rate() - 0.5).abs() < 1e-12);
         assert!((w.stats().abort_rate() - 0.5).abs() < 1e-12);
         assert_eq!(w.occupancy(), 1);
@@ -293,23 +330,59 @@ mod tests {
             granularity: 4,
         })
         .unwrap();
-        w.note_redundant(LineAddr::new(100)); // covers lines 100..104
-        assert!(w.should_abort(LineAddr::new(101), true, true));
-        assert!(w.should_abort(LineAddr::new(103), true, true));
-        assert!(!w.should_abort(LineAddr::new(104), true, false));
+        w.note_redundant(0, LineAddr::new(100)); // covers lines 100..104
+        assert!(w.should_abort(0, LineAddr::new(101), true, true));
+        assert!(w.should_abort(0, LineAddr::new(103), true, true));
+        assert!(!w.should_abort(0, LineAddr::new(104), true, false));
         // Coverage at the cost of errors: a never-written-back
         // neighbour also aborts (incorrect if not in the L3).
-        assert!(w.should_abort(LineAddr::new(102), true, false));
+        assert!(w.should_abort(0, LineAddr::new(102), true, false));
         assert!(w.stats().correct < w.stats().decisions);
     }
 
     #[test]
     fn knows_is_side_effect_free() {
         let mut w = wbht();
-        w.note_redundant(LineAddr::new(5));
+        w.note_redundant(0, LineAddr::new(5));
         assert!(w.knows(LineAddr::new(5)));
         assert!(!w.knows(LineAddr::new(6)));
         assert_eq!(w.stats().decisions, 0);
+    }
+
+    #[test]
+    fn telemetry_traces_predicts_and_allocates() {
+        use cmpsim_engine::telemetry::{SimEvent, Telemetry};
+
+        let (t, sink) = Telemetry::with_vec_sink();
+        let mut w = wbht();
+        w.attach_telemetry(t, 3);
+        w.note_redundant(10, LineAddr::new(1));
+        w.should_abort(20, LineAddr::new(1), true, true); // abort, correct
+        w.should_abort(30, LineAddr::new(2), true, true); // wb, incorrect
+        w.should_abort(40, LineAddr::new(2), false, true); // disengaged: no event
+        let sink = sink.lock().unwrap();
+        let kinds: Vec<&str> = sink.events().iter().map(|(_, e)| e.kind()).collect();
+        assert_eq!(
+            kinds,
+            [
+                "wbht_allocate",
+                "wbht_predict",
+                "wbht_predict",
+                "wbht_mispredict"
+            ]
+        );
+        match &sink.events()[1] {
+            (
+                20,
+                SimEvent::WbhtPredict {
+                    l2, abort, correct, ..
+                },
+            ) => {
+                assert_eq!(*l2, 3);
+                assert!(*abort && *correct);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
     }
 
     #[test]

@@ -1,5 +1,8 @@
 //! Convenience runner producing a complete report per simulation.
 
+use cmpsim_engine::metrics::MetricsRegistry;
+use cmpsim_engine::telemetry::{IntervalRecord, Telemetry};
+use cmpsim_engine::Cycle;
 use cmpsim_trace::{Workload, WorkloadParams};
 
 use crate::config::SystemConfig;
@@ -27,6 +30,8 @@ pub struct RunReport {
     pub wbht: WbhtStats,
     /// Snarf-table statistics, when snarfing is on.
     pub snarf_table: Option<SnarfStats>,
+    /// Interval snapshots, when interval sampling was enabled.
+    pub intervals: Vec<IntervalRecord>,
 }
 
 impl RunReport {
@@ -35,9 +40,10 @@ impl RunReport {
         self.stats.cycles
     }
 
-    /// A compact JSON summary of the run (hand-rolled: every field is a
-    /// number or string, so no serializer dependency is needed).
-    pub fn to_json(&self) -> String {
+    /// The run's metrics as a registry — the single source both the
+    /// JSON and CSV exports render from, so the formats agree
+    /// field-for-field by construction.
+    pub fn metrics(&self) -> MetricsRegistry {
         let s = &self.stats;
         let l3_total = self.l3.read_hits + self.l3.read_misses;
         let l3_hit = if l3_total == 0 {
@@ -45,51 +51,50 @@ impl RunReport {
         } else {
             self.l3.read_hits as f64 / l3_total as f64
         };
-        format!(
-            concat!(
-                "{{\"workload\":\"{}\",\"policy\":\"{}\",\"max_outstanding\":{},",
-                "\"cycles\":{},\"refs\":{},\"loads\":{},\"stores\":{},",
-                "\"l1_hits\":{},\"l2_hit_rate\":{:.6},\"l3_load_hit_rate\":{:.6},",
-                "\"fills_from_l2\":{},\"fills_from_l3\":{},\"fills_from_memory\":{},",
-                "\"wb_requests\":{},\"wb_dirty\":{},\"wb_clean\":{},",
-                "\"wb_clean_aborted\":{},\"wb_clean_redundant_rate\":{:.6},",
-                "\"wb_snarfed\":{},\"wb_squashed_peer\":{},\"wb_accepted_l3\":{},",
-                "\"retries_total\":{},\"retries_l3\":{},\"upgrades\":{},",
-                "\"mean_miss_latency\":{:.2},",
-                "\"wbht_decisions\":{},\"wbht_correct_rate\":{:.6},",
-                "\"ring_addr_txns\":{},\"mem_reads\":{},\"mem_writes\":{}}}"
-            ),
-            self.workload,
-            self.policy,
-            self.max_outstanding,
-            s.cycles,
-            s.refs,
-            s.loads,
-            s.stores,
-            s.l1_hits,
-            s.l2_hit_rate(),
-            l3_hit,
-            s.fills_from_l2,
-            s.fills_from_l3,
-            s.fills_from_memory,
-            s.wb.requests(),
-            s.wb.dirty_requests,
-            s.wb.clean_requests,
-            s.wb.clean_aborted,
-            s.wb.clean_redundant_rate(),
-            s.wb.snarfed,
-            s.wb.squashed_peer,
-            s.wb.accepted_l3,
-            s.retries_total,
-            s.retries_l3,
-            s.upgrades,
-            s.miss_latency.mean(),
-            self.wbht.decisions,
-            self.wbht.correct_rate(),
-            self.ring.addr_issued,
-            self.mem.reads,
-            self.mem.writes,
-        )
+        let mut m = MetricsRegistry::new();
+        m.set_text("workload", self.workload.clone());
+        m.set_text("policy", self.policy);
+        m.set_counter("max_outstanding", u64::from(self.max_outstanding));
+        m.set_counter("cycles", s.cycles);
+        m.set_counter("refs", s.refs);
+        m.set_counter("loads", s.loads);
+        m.set_counter("stores", s.stores);
+        m.set_counter("l1_hits", s.l1_hits);
+        m.set_gauge("l2_hit_rate", s.l2_hit_rate());
+        m.set_gauge("l3_load_hit_rate", l3_hit);
+        m.set_counter("fills_from_l2", s.fills_from_l2);
+        m.set_counter("fills_from_l3", s.fills_from_l3);
+        m.set_counter("fills_from_memory", s.fills_from_memory);
+        m.set_counter("wb_requests", s.wb.requests());
+        m.set_counter("wb_dirty", s.wb.dirty_requests);
+        m.set_counter("wb_clean", s.wb.clean_requests);
+        m.set_counter("wb_clean_aborted", s.wb.clean_aborted);
+        m.set_gauge("wb_clean_redundant_rate", s.wb.clean_redundant_rate());
+        m.set_counter("wb_snarfed", s.wb.snarfed);
+        m.set_counter("wb_squashed_peer", s.wb.squashed_peer);
+        m.set_counter("wb_accepted_l3", s.wb.accepted_l3);
+        m.set_counter("retries_total", s.retries_total);
+        m.set_counter("retries_l3", s.retries_l3);
+        m.set_counter("upgrades", s.upgrades);
+        m.set_gauge("mean_miss_latency", s.miss_latency.mean());
+        m.set_counter("wbht_decisions", self.wbht.decisions);
+        m.set_gauge("wbht_correct_rate", self.wbht.correct_rate());
+        m.set_counter("ring_addr_txns", self.ring.addr_issued);
+        m.set_counter("mem_reads", self.mem.reads);
+        m.set_counter("mem_writes", self.mem.writes);
+        m
+    }
+
+    /// A compact JSON summary of the run, rendered from
+    /// [`RunReport::metrics`].
+    pub fn to_json(&self) -> String {
+        self.metrics().to_json()
+    }
+
+    /// A `(header, row)` CSV pair rendered from the same registry as
+    /// [`RunReport::to_json`].
+    pub fn to_csv(&self) -> (String, String) {
+        self.metrics().to_csv()
     }
 
     /// Percentage runtime improvement of this run over a baseline run
@@ -113,6 +118,10 @@ pub struct RunSpec {
     pub refs_per_thread: u64,
     /// Retry-switch override (scaled windows for scaled runs).
     pub retry_switch: Option<RetrySwitchConfig>,
+    /// Event-trace handle (disabled by default: zero cost).
+    pub telemetry: Telemetry,
+    /// Interval-sampling period in cycles, when set.
+    pub interval_stats: Option<Cycle>,
 }
 
 impl RunSpec {
@@ -124,6 +133,8 @@ impl RunSpec {
             workload: params,
             refs_per_thread,
             retry_switch: None,
+            telemetry: Telemetry::disabled(),
+            interval_stats: None,
         }
     }
 }
@@ -153,6 +164,12 @@ pub fn run(spec: RunSpec) -> Result<RunReport, SystemError> {
     if let Some(rs) = spec.retry_switch {
         sys.set_retry_switch(rs);
     }
+    if spec.telemetry.is_enabled() {
+        sys.set_telemetry(spec.telemetry.clone());
+    }
+    if let Some(period) = spec.interval_stats {
+        sys.enable_interval_sampling(period);
+    }
     let stats = sys.run(spec.refs_per_thread);
     Ok(RunReport {
         workload: workload_name,
@@ -164,6 +181,7 @@ pub fn run(spec: RunSpec) -> Result<RunReport, SystemError> {
         ring: sys.ring_stats(),
         wbht: sys.wbht_stats(),
         snarf_table: sys.snarf_table_stats(),
+        intervals: sys.interval_records().to_vec(),
     })
 }
 
@@ -191,6 +209,40 @@ mod tests {
         // Balanced braces and quotes.
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn json_and_csv_share_one_registry() {
+        let spec = RunSpec::for_workload(SystemConfig::scaled(16), Workload::Cpw2, 400);
+        let r = run(spec).unwrap();
+        let (header, row) = r.to_csv();
+        let names: Vec<&str> = header.split(',').collect();
+        let values: Vec<&str> = row.split(',').collect();
+        assert_eq!(names.len(), values.len());
+        let json = r.to_json();
+        for (name, value) in names.iter().zip(&values) {
+            let quoted = format!("\"{name}\":\"{value}\"");
+            let bare = format!("\"{name}\":{value}");
+            assert!(
+                json.contains(&quoted) || json.contains(&bare),
+                "CSV field {name}={value} missing from JSON {json}"
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_spec_collects_events_and_intervals() {
+        use cmpsim_engine::telemetry::Telemetry;
+
+        let (tel, sink) = Telemetry::with_vec_sink();
+        let mut spec = RunSpec::for_workload(SystemConfig::scaled(16), Workload::Cpw2, 400);
+        spec.telemetry = tel;
+        spec.interval_stats = Some(5_000);
+        let r = run(spec).unwrap();
+        assert!(!sink.lock().unwrap().events().is_empty());
+        assert!(!r.intervals.is_empty());
+        let last = r.intervals.last().unwrap();
+        assert_eq!(last.end, r.cycles());
     }
 
     #[test]

@@ -7,6 +7,7 @@ use cmpsim_cache::{
     WriteBackQueue,
 };
 use cmpsim_coherence::{L2Id, L2State};
+use cmpsim_engine::telemetry::{SimEvent, Telemetry};
 use cmpsim_engine::{Cycle, FifoServer, SlotPool};
 use cmpsim_trace::ThreadId;
 
@@ -51,6 +52,7 @@ pub struct L2Unit {
     pub waiting_threads: Vec<ThreadId>,
     /// Reuse flags for lines snarfed into this cache.
     pub snarfed_lines: HashMap<u64, SnarfFlags>,
+    telemetry: Telemetry,
 }
 
 impl L2Unit {
@@ -84,7 +86,16 @@ impl L2Unit {
             draining: false,
             waiting_threads: Vec::new(),
             snarfed_lines: HashMap::new(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches an event-trace handle (shared by this unit and its WBHT).
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        if let Some(w) = &mut self.wbht {
+            w.attach_telemetry(telemetry.clone(), self.id.index() as u32);
+        }
+        self.telemetry = telemetry;
     }
 
     fn slice_and_local(&self, line: LineAddr) -> (usize, LineAddr) {
@@ -134,12 +145,10 @@ impl L2Unit {
     ) -> Option<(LineAddr, L2State)> {
         let (s, local) = self.slice_and_local(line);
         let slice_bits = self.geometry.slices().trailing_zeros();
-        self.slices[s]
-            .insert(local, st, pos)
-            .map(|ev| {
-                let global = (ev.line.raw() << slice_bits) | s as u64;
-                (LineAddr::new(global), ev.state)
-            })
+        self.slices[s].insert(local, st, pos).map(|ev| {
+            let global = (ev.line.raw() << slice_bits) | s as u64;
+            (LineAddr::new(global), ev.state)
+        })
     }
 
     /// Inserts a line using cost-aware victim selection (§7 extension):
@@ -218,10 +227,19 @@ impl L2Unit {
         })
     }
 
-    /// Can the snarf buffers take a line at `now` (held until
-    /// `now + hold`)? Acquires on success.
-    pub fn try_reserve_snarf_buffer(&mut self, now: Cycle, hold: Cycle) -> bool {
-        self.snarf_buffers.try_acquire(now, now + hold)
+    /// Can the snarf buffers take `line` at `now` (held until
+    /// `now + hold`)? Acquires on success; a decline (all buffers busy —
+    /// "we conservatively decline the cache line", §3) is traced.
+    pub fn try_reserve_snarf_buffer(&mut self, now: Cycle, line: LineAddr, hold: Cycle) -> bool {
+        let ok = self.snarf_buffers.try_acquire(now, now + hold);
+        if !ok {
+            let id = self.id.index() as u32;
+            self.telemetry.emit(now, || SimEvent::SnarfBufferDeclined {
+                l2: id,
+                line: line.raw(),
+            });
+        }
+        ok
     }
 
     /// Total valid lines.
@@ -264,7 +282,9 @@ mod tests {
         let mut u = unit();
         let line = LineAddr::new(100);
         assert_eq!(u.state_of(line), None);
-        assert!(u.fill(line, L2State::Exclusive, InsertPosition::Mru).is_none());
+        assert!(u
+            .fill(line, L2State::Exclusive, InsertPosition::Mru)
+            .is_none());
         assert_eq!(u.state_of(line), Some(L2State::Exclusive));
         assert!(u.set_state(line, L2State::Modified));
         assert_eq!(u.invalidate(line), Some(L2State::Modified));
@@ -313,7 +333,12 @@ mod tests {
         assert!(u.set_state(LineAddr::new(4 + stride), L2State::Shared));
         let way = u.snarf_victim(LineAddr::new(4)).unwrap();
         let ev = u
-            .snarf_insert(LineAddr::new(4 + 8 * stride), way, L2State::SharedLast, InsertPosition::Mru)
+            .snarf_insert(
+                LineAddr::new(4 + 8 * stride),
+                way,
+                L2State::SharedLast,
+                InsertPosition::Mru,
+            )
             .unwrap();
         assert_eq!(ev.0, LineAddr::new(4 + stride));
         assert_eq!(ev.1, L2State::Shared);
@@ -321,13 +346,20 @@ mod tests {
 
     #[test]
     fn snarf_buffers_decline_when_busy() {
+        let (tel, sink) = Telemetry::with_vec_sink();
         let mut u = unit();
+        u.attach_telemetry(tel);
+        let line = LineAddr::new(4);
         let cap = SystemConfig::scaled(16).snarf_buffers;
         for _ in 0..cap {
-            assert!(u.try_reserve_snarf_buffer(0, 100));
+            assert!(u.try_reserve_snarf_buffer(0, line, 100));
         }
-        assert!(!u.try_reserve_snarf_buffer(10, 100));
-        assert!(u.try_reserve_snarf_buffer(150, 100));
+        assert!(!u.try_reserve_snarf_buffer(10, line, 100));
+        assert!(u.try_reserve_snarf_buffer(150, line, 100));
+        // Only the decline is traced.
+        let sink = sink.lock().unwrap();
+        assert_eq!(sink.events().len(), 1);
+        assert_eq!(sink.events()[0].1.kind(), "snarf_buffer_declined");
     }
 
     #[test]

@@ -7,6 +7,9 @@ use cmpsim_coherence::{
     AgentId, BusTxn, CombinedResponse, DataSource, L2Id, L2State, SnoopCollector, SnoopResponse,
     TxnId, TxnKind, WbOutcome,
 };
+use cmpsim_engine::telemetry::{
+    FillSource, IntervalRecord, IntervalSampler, SimEvent, SquashReason, Telemetry,
+};
 use cmpsim_engine::{Channel, Cycle, EventQueue};
 use cmpsim_mem::{L3Cache, MemoryController};
 use cmpsim_ring::{Ring, RingTopology};
@@ -109,6 +112,11 @@ pub struct System {
     /// Debug: line (raw) whose every transition is logged to stderr.
     /// Set via the `CMPSIM_TRACE_LINE` environment variable (hex).
     trace_line: Option<u64>,
+    /// Event-trace handle, shared (cloned) into every instrumented
+    /// component. Disabled by default: one dead branch per emission site.
+    telemetry: Telemetry,
+    /// Interval sampler snapshotting key counters every N cycles.
+    sampler: Option<IntervalSampler>,
 }
 
 /// Errors from building a [`System`].
@@ -182,7 +190,9 @@ impl System {
             Some(s) => Some(SnarfTable::new(s)?),
             None => None,
         };
-        let snarf_insert_pos = snarf_cfg.map(|s| s.insert_pos).unwrap_or(InsertPosition::Mru);
+        let snarf_insert_pos = snarf_cfg
+            .map(|s| s.insert_pos)
+            .unwrap_or(InsertPosition::Mru);
 
         let l2s = L2Id::all(cfg.num_l2)
             .map(|id| {
@@ -250,6 +260,8 @@ impl System {
             queue: EventQueue::with_capacity(1 << 16),
             workload,
             cfg,
+            telemetry: Telemetry::disabled(),
+            sampler: None,
         })
     }
 
@@ -257,6 +269,42 @@ impl System {
     /// proportionally shorter window).
     pub fn set_retry_switch(&mut self, cfg: RetrySwitchConfig) {
         self.retry_switch = RetrySwitch::new(cfg);
+        self.retry_switch.attach_telemetry(self.telemetry.clone());
+    }
+
+    /// Attaches an event-trace handle and propagates clones of it to
+    /// every instrumented component (L2s and their WBHTs, the retry
+    /// switch, the snarf table, and the L3s).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        for l2 in &mut self.l2s {
+            l2.attach_telemetry(telemetry.clone());
+        }
+        self.retry_switch.attach_telemetry(telemetry.clone());
+        if let Some(t) = &mut self.snarf_table {
+            t.attach_telemetry(telemetry.clone());
+        }
+        self.l3.attach_telemetry(telemetry.clone());
+        for l3 in &mut self.private_l3s {
+            l3.attach_telemetry(telemetry.clone());
+        }
+        self.telemetry = telemetry;
+    }
+
+    /// Enables interval sampling: key counters are snapshotted every
+    /// `period` cycles into [`interval_records`](Self::interval_records)
+    /// (and, when tracing is on, emitted as [`SimEvent::Interval`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is 0.
+    pub fn enable_interval_sampling(&mut self, period: Cycle) {
+        self.sampler = Some(IntervalSampler::new(period));
+    }
+
+    /// The interval time series recorded so far (empty when sampling is
+    /// disabled).
+    pub fn interval_records(&self) -> &[IntervalRecord] {
+        self.sampler.as_ref().map_or(&[], |s| s.records())
     }
 
     /// The configuration.
@@ -286,9 +334,59 @@ impl System {
         }
         while let Some((now, ev)) = self.queue.pop() {
             self.dispatch(now, ev);
+            if self.sampler.as_ref().is_some_and(|s| s.due(now)) {
+                self.close_intervals(now, false);
+            }
         }
         self.finalize_stats();
+        if self.sampler.is_some() {
+            self.close_intervals(self.stats.cycles, true);
+        }
+        self.telemetry.flush();
         self.stats.clone()
+    }
+
+    /// Closes passed sampler window(s) at `now` (`finish` also closes
+    /// the trailing partial window) and mirrors each new record into the
+    /// event trace.
+    fn close_intervals(&mut self, now: Cycle, finish: bool) {
+        let snapshot = self.counter_snapshot();
+        let Some(sampler) = &mut self.sampler else {
+            return;
+        };
+        let already = sampler.records().len();
+        if finish {
+            sampler.finish(now, &snapshot);
+        } else {
+            sampler.sample(now, &snapshot);
+        }
+        for rec in &sampler.records()[already..] {
+            self.telemetry.emit(rec.end, || SimEvent::Interval {
+                start: rec.start,
+                end: rec.end,
+                counters: rec.counters.clone(),
+            });
+        }
+    }
+
+    /// The cumulative counters the interval sampler tracks.
+    fn counter_snapshot(&self) -> Vec<(&'static str, u64)> {
+        let s = &self.stats;
+        vec![
+            ("refs", s.refs),
+            ("l2_misses", s.l2.iter().map(|l| l.misses).sum()),
+            ("fills_from_l2", s.fills_from_l2),
+            ("fills_from_l3", s.fills_from_l3),
+            ("fills_from_memory", s.fills_from_memory),
+            ("wb_dirty", s.wb.dirty_requests),
+            ("wb_clean", s.wb.clean_requests),
+            ("wb_clean_aborted", s.wb.clean_aborted),
+            ("wb_squashed_l3", s.wb.clean_squashed_l3),
+            ("wb_snarfed", s.wb.snarfed),
+            ("retries_total", s.retries_total),
+            ("retries_l3", s.retries_l3),
+            ("upgrades", s.upgrades),
+        ]
     }
 
     /// Statistics accumulated so far (valid after [`run`](Self::run)).
@@ -399,10 +497,7 @@ impl System {
             if excl > 0 {
                 assert_eq!(hs.len(), 1, "line {line:#x}: E/M with sharers: {hs:?}");
             }
-            let sl = hs
-                .iter()
-                .filter(|(_, s)| *s == L2State::SharedLast)
-                .count();
+            let sl = hs.iter().filter(|(_, s)| *s == L2State::SharedLast).count();
             assert!(sl <= 1, "line {line:#x}: {sl} SL holders: {hs:?}");
         }
     }
@@ -505,8 +600,8 @@ impl System {
             // Shared copies now: a recovered dirty line is then the
             // shared dirty owner (T), and a recovered clean line must
             // not claim a second SL.
-            let peer_copies = (0..self.l2s.len())
-                .any(|j| j != i && self.l2s[j].state_of(line).is_some());
+            let peer_copies =
+                (0..self.l2s.len()).any(|j| j != i && self.l2s[j].state_of(line).is_some());
             let st = match (e.dirty, peer_copies) {
                 (true, false) => L2State::Modified,
                 (true, true) => L2State::Tagged,
@@ -543,6 +638,11 @@ impl System {
                     TxnKind::ReadShared
                 };
                 self.stats.l2[i].misses += 1;
+                self.telemetry.emit(t_now, || SimEvent::L2Miss {
+                    l2: i as u32,
+                    line: line.raw(),
+                    store: is_store,
+                });
                 self.start_miss(t, l2id, line, kind, rec)
             }
         }
@@ -733,7 +833,8 @@ impl System {
                 self.trace(line, &|| format!("upgrade-ok {}", txn.src));
                 self.stats.upgrades += 1;
                 self.apply_invalidations(txn.src, line, None);
-                self.inbound_fills.insert((txn.src.index() as u8, line.raw()));
+                self.inbound_fills
+                    .insert((txn.src.index() as u8, line.raw()));
                 self.queue.push(
                     t_seen,
                     Ev::Fill {
@@ -810,7 +911,10 @@ impl System {
         }
 
         self.trace(line, &|| {
-            format!("grant {} src={:?} sharers={sharers} for {}", txn.kind, source, txn.src)
+            format!(
+                "grant {} src={:?} sharers={sharers} for {}",
+                txn.kind, source, txn.src
+            )
         });
         let install = match (txn.kind, source) {
             (TxnKind::ReadExclusive, _) => L2State::Modified,
@@ -872,7 +976,8 @@ impl System {
                 self.stats.fills_from_memory += 1;
                 let t_seen_m = self.ring.combined_arrival(t_collect, AgentId::Memory);
                 let ready = self.mem.read(t_seen_m, line);
-                self.mem_link.reserve_for(ready, self.cfg.mem_link_occupancy)
+                self.mem_link
+                    .reserve_for(ready, self.cfg.mem_link_occupancy)
                     + self.cfg.mem_link_delay
             }
         };
@@ -882,9 +987,29 @@ impl System {
             self.apply_invalidations(txn.src, line, skip_l3.then_some(()));
         }
 
-        self.inbound_fills.insert((txn.src.index() as u8, line.raw()));
+        self.inbound_fills
+            .insert((txn.src.index() as u8, line.raw()));
+        let t_fill = arrival.max(t_seen);
+        if self.telemetry.is_enabled() {
+            let l2 = txn.src.index() as u32;
+            let latency = self
+                .miss_issue
+                .get(&(txn.src.index() as u8, line.raw()))
+                .map_or(0, |&t0| t_fill.saturating_sub(t0));
+            let fill_source = match source {
+                DataSource::L2 { .. } => FillSource::L2Peer,
+                DataSource::L3 { .. } => FillSource::L3,
+                DataSource::Memory => FillSource::Memory,
+            };
+            self.telemetry.emit(t_fill, || SimEvent::L2Fill {
+                l2,
+                line: line.raw(),
+                source: fill_source,
+                latency,
+            });
+        }
         self.queue.push(
-            arrival.max(t_seen),
+            t_fill,
             Ev::Fill {
                 l2: txn.src,
                 line,
@@ -949,7 +1074,12 @@ impl System {
     /// rejected transactions do not return in lockstep storms.
     fn retry_delay(&self, txn: &BusTxn, attempt: u32) -> Cycle {
         let base = self.cfg.retry_backoff;
-        let jitter = (txn.id.raw().wrapping_mul(7).wrapping_add(attempt as u64 * 13)) % base.max(1);
+        let jitter = (txn
+            .id
+            .raw()
+            .wrapping_mul(7)
+            .wrapping_add(attempt as u64 * 13))
+            % base.max(1);
         base + jitter
     }
 
@@ -989,6 +1119,13 @@ impl System {
             if let Some(t) = &mut self.snarf_table {
                 t.observe_writeback(line);
             }
+            let snarf_eligible = txn.snarf_eligible;
+            self.telemetry.emit(now, || SimEvent::CastoutIssued {
+                l2: i as u32,
+                line: line.raw(),
+                dirty,
+                snarf_eligible,
+            });
         } else {
             self.stats.wb.retried_attempts += 1;
         }
@@ -1025,7 +1162,7 @@ impl System {
                 SnoopResponse::PeerHasCopy(id)
             } else if txn.snarf_eligible
                 && self.l2s[j].snarf_victim(line).is_some()
-                && self.l2s[j].try_reserve_snarf_buffer(t_sn, self.cfg.snarf_buffer_hold)
+                && self.l2s[j].try_reserve_snarf_buffer(t_sn, line, self.cfg.snarf_buffer_hold)
             {
                 SnoopResponse::SnarfAccept(id)
             } else {
@@ -1063,14 +1200,35 @@ impl System {
             other => unreachable!("read response {other:?} to a castout"),
         };
 
-        self.trace(line, &|| format!("castout {} from {} outcome {outcome:?}", txn.kind, txn.src));
+        self.trace(line, &|| {
+            format!("castout {} from {} outcome {outcome:?}", txn.kind, txn.src)
+        });
+        if txn.snarf_eligible {
+            let winner = match outcome {
+                WbOutcome::SnarfedBy(p) => Some(p.index() as u32),
+                _ => None,
+            };
+            if let Some(t) = &self.snarf_table {
+                t.record_arbitration(t_seen, i as u32, line, winner);
+            }
+        }
         match outcome {
             WbOutcome::SquashedAlreadyInL3 => {
                 self.stats.wb.clean_squashed_l3 += 1;
-                self.note_redundant_clean_wb(txn.src, line);
+                self.telemetry.emit(t_seen, || SimEvent::CastoutSquashed {
+                    l2: i as u32,
+                    line: line.raw(),
+                    reason: SquashReason::AlreadyInL3,
+                });
+                self.note_redundant_clean_wb(t_seen, txn.src, line);
             }
             WbOutcome::SquashedPeerHasCopy(p) => {
                 self.stats.wb.squashed_peer += 1;
+                self.telemetry.emit(t_seen, || SimEvent::CastoutSquashed {
+                    l2: i as u32,
+                    line: line.raw(),
+                    reason: SquashReason::PeerHasCopy,
+                });
                 if dirty {
                     // Ownership transfer: the peer's clean copy becomes
                     // the dirty owner without a data transfer.
@@ -1084,27 +1242,26 @@ impl System {
             }
             WbOutcome::SnarfedBy(p) => {
                 self.stats.wb.snarfed += 1;
+                self.telemetry.emit(t_seen, || SimEvent::CastoutSnarfed {
+                    l2: i as u32,
+                    by: p.index() as u32,
+                    line: line.raw(),
+                });
                 self.inbound_snarfs.insert((p.index() as u8, line.raw()));
-                let arrival = self
-                    .ring
-                    .transfer_data(t_seen, src_agent, AgentId::L2(p));
-                self.queue.push(
-                    arrival,
-                    Ev::SnarfFill {
-                        l2: p,
-                        line,
-                        dirty,
-                    },
-                );
+                let arrival = self.ring.transfer_data(t_seen, src_agent, AgentId::L2(p));
+                self.queue
+                    .push(arrival, Ev::SnarfFill { l2: p, line, dirty });
             }
             WbOutcome::AcceptedByL3 { .. } => {
-                let t_arr = self
-                    .l3_link
-                    .reserve_for(t_seen, self.cfg.l3_link_occupancy)
+                let t_arr = self.l3_link.reserve_for(t_seen, self.cfg.l3_link_occupancy)
                     + self.cfg.l3_link_delay;
                 match self.l3.accept_castout(t_arr, line, dirty) {
                     Some((done, victim)) => {
                         self.stats.wb.accepted_l3 += 1;
+                        self.telemetry.emit(t_arr, || SimEvent::CastoutAccepted {
+                            l2: i as u32,
+                            line: line.raw(),
+                        });
                         if let Some(acc) = self.wb_pending.get_mut(&line.raw()) {
                             *acc = true;
                         }
@@ -1151,6 +1308,12 @@ impl System {
             }
             self.stats.wb_reuse.total += 1;
             self.wb_pending.insert(line.raw(), false);
+            self.telemetry.emit(now, || SimEvent::CastoutIssued {
+                l2: i as u32,
+                line: line.raw(),
+                dirty,
+                snarf_eligible: false,
+            });
         } else {
             self.stats.wb.retried_attempts += 1;
         }
@@ -1158,16 +1321,27 @@ impl System {
         let delay = self.cfg.l3_link_delay;
         let arrive = self.private_l3_links[i].reserve_for(now, occ) + delay;
         let resp = self.l3_for(i).snoop_castout(arrive, line, dirty);
-        self.trace(line, &|| format!("private castout from {} -> {resp:?}", txn.src));
+        self.trace(line, &|| {
+            format!("private castout from {} -> {resp:?}", txn.src)
+        });
         match resp {
             SnoopResponse::L3Hit(_) if !dirty => {
                 self.stats.wb.clean_squashed_l3 += 1;
-                self.note_redundant_clean_wb(txn.src, line);
+                self.telemetry.emit(arrive, || SimEvent::CastoutSquashed {
+                    l2: i as u32,
+                    line: line.raw(),
+                    reason: SquashReason::AlreadyInL3,
+                });
+                self.note_redundant_clean_wb(arrive, txn.src, line);
             }
             SnoopResponse::L3Hit(_) | SnoopResponse::L3Accept => {
                 match self.l3_for(i).accept_castout(arrive, line, dirty) {
                     Some((done, victim)) => {
                         self.stats.wb.accepted_l3 += 1;
+                        self.telemetry.emit(arrive, || SimEvent::CastoutAccepted {
+                            l2: i as u32,
+                            line: line.raw(),
+                        });
                         if let Some(acc) = self.wb_pending.get_mut(&line.raw()) {
                             *acc = true;
                         }
@@ -1211,7 +1385,7 @@ impl System {
 
     /// WBHT allocation on an L3-squashed clean write-back (§2 step 3),
     /// honouring the update scope (§2.2 / Figure 3).
-    fn note_redundant_clean_wb(&mut self, src: L2Id, line: LineAddr) {
+    fn note_redundant_clean_wb(&mut self, now: Cycle, src: L2Id, line: LineAddr) {
         let scope = match &self.cfg.policy {
             PolicyConfig::Wbht(w) => Some(w.scope),
             PolicyConfig::Combined(w, _) => Some(w.scope),
@@ -1221,13 +1395,13 @@ impl System {
             None => {}
             Some(UpdateScope::Local) => {
                 if let Some(w) = &mut self.l2s[src.index()].wbht {
-                    w.note_redundant(line);
+                    w.note_redundant(now, line);
                 }
             }
             Some(UpdateScope::Global) => {
                 for l2 in &mut self.l2s {
                     if let Some(w) = &mut l2.wbht {
-                        w.note_redundant(line);
+                        w.note_redundant(now, line);
                     }
                 }
             }
@@ -1246,7 +1420,9 @@ impl System {
                 let mut found = None;
                 for k in 0.. {
                     // Scan queue order via front-relative probing.
-                    let Some(e) = self.l2s[i].wbq.nth(k) else { break };
+                    let Some(e) = self.l2s[i].wbq.nth(k) else {
+                        break;
+                    };
                     if !inflight.contains(&e.line) {
                         found = Some(*e);
                         break;
@@ -1270,10 +1446,14 @@ impl System {
                     .wbht
                     .as_mut()
                     .expect("wbht policy implies table")
-                    .should_abort(entry.line, engaged, in_l3);
+                    .should_abort(now, entry.line, engaged, in_l3);
                 if abort {
                     self.l2s[i].wbq.remove(entry.line);
                     self.stats.wb.clean_aborted += 1;
+                    self.telemetry.emit(now, || SimEvent::CastoutAborted {
+                        l2: i as u32,
+                        line: entry.line.raw(),
+                    });
                     continue;
                 }
             }
@@ -1330,7 +1510,14 @@ impl System {
         // set while the fill is blocked — the line is still in transit
         // and snoops must keep retrying against it.
         if self.l2s[i].wbq.is_full() && !self.l2s[i].has_invalid_way(line) {
-            self.queue.push(now + 8, Ev::Fill { l2: l2id, line, state });
+            self.queue.push(
+                now + 8,
+                Ev::Fill {
+                    l2: l2id,
+                    line,
+                    state,
+                },
+            );
             return;
         }
         self.inbound_fills.remove(&(i as u8, line.raw()));
@@ -1395,8 +1582,10 @@ impl System {
         });
         debug_assert!(pushed, "wbq overflow despite fill gating");
         if self.l2s[i].castouts_inflight.len() < self.cfg.castout_inflight_max {
-            self.queue
-                .push(now.max(self.queue.now()) + 1, Ev::WbDrain(L2Id::new(i as u8)));
+            self.queue.push(
+                now.max(self.queue.now()) + 1,
+                Ev::WbDrain(L2Id::new(i as u8)),
+            );
         }
     }
 
@@ -1452,7 +1641,10 @@ impl System {
                     || self.l2s[j].wbq.contains(line)
                     || self.inbound_fills.contains(&(j as u8, line.raw())))
         });
-        match (!peer_has_copy).then(|| self.l2s[i].snarf_victim(line)).flatten() {
+        match (!peer_has_copy)
+            .then(|| self.l2s[i].snarf_victim(line))
+            .flatten()
+        {
             Some(way) => {
                 let st = if dirty {
                     L2State::Modified
@@ -1580,7 +1772,10 @@ mod tests {
         let line = LineAddr::new(100);
         sys.l2s[0].fill(line, L2State::SharedLast, InsertPosition::Mru);
         // Installing E at L2#1 while L2#0 holds an intervener: demote to S.
-        assert_eq!(sys.sanitize_install(1, line, L2State::Exclusive), L2State::Shared);
+        assert_eq!(
+            sys.sanitize_install(1, line, L2State::Exclusive),
+            L2State::Shared
+        );
         // SL against an SL holder also demotes.
         assert_eq!(
             sys.sanitize_install(1, line, L2State::SharedLast),
@@ -1614,7 +1809,11 @@ mod tests {
                 L2Id::new(0),
             );
             let d = sys.retry_delay(&txn, attempt);
-            assert!(d >= base && d < 2 * base, "delay {d} out of [{base}, {})", 2 * base);
+            assert!(
+                d >= base && d < 2 * base,
+                "delay {d} out of [{base}, {})",
+                2 * base
+            );
             delays.insert(d);
         }
         assert!(delays.len() > 1, "no jitter across transactions");
@@ -1625,7 +1824,9 @@ mod tests {
         let mut sys = system(PolicyConfig::Baseline);
         let line = LineAddr::new(64);
         sys.l2s[1].fill(line, L2State::Shared, InsertPosition::Mru);
-        sys.l2s[2].wbq.push(cmpsim_cache::WbEntry { line, dirty: false });
+        sys.l2s[2]
+            .wbq
+            .push(cmpsim_cache::WbEntry { line, dirty: false });
         sys.l1s[2].fill(line); // core 2 belongs to L2#1
         sys.apply_invalidations(L2Id::new(0), line, None);
         assert_eq!(sys.l2s[1].state_of(line), None);
@@ -1643,7 +1844,7 @@ mod tests {
             granularity: 1,
         }));
         let line = LineAddr::new(16);
-        sys.note_redundant_clean_wb(L2Id::new(0), line);
+        sys.note_redundant_clean_wb(0, L2Id::new(0), line);
         for l2 in &sys.l2s {
             assert!(l2.wbht.as_ref().unwrap().knows(line));
         }
@@ -1654,7 +1855,7 @@ mod tests {
             scope: UpdateScope::Local,
             granularity: 1,
         }));
-        sys.note_redundant_clean_wb(L2Id::new(2), line);
+        sys.note_redundant_clean_wb(0, L2Id::new(2), line);
         for (i, l2) in sys.l2s.iter().enumerate() {
             assert_eq!(l2.wbht.as_ref().unwrap().knows(line), i == 2);
         }
@@ -1665,7 +1866,10 @@ mod tests {
         let mut sys = system(PolicyConfig::Baseline);
         let stats = sys.run(2_000);
         assert!(stats.upgrades > 0, "migratory RMW must trigger upgrades");
-        assert!(stats.fills_from_l2 > 0, "RMW lines must migrate via interventions");
+        assert!(
+            stats.fills_from_l2 > 0,
+            "RMW lines must migrate via interventions"
+        );
         sys.check_invariants();
     }
 

@@ -40,10 +40,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod metrics;
 mod queue;
 mod resource;
 mod rng;
 pub mod stats;
+pub mod telemetry;
 
 pub use queue::EventQueue;
 pub use resource::{Channel, FifoServer, SlotPool};

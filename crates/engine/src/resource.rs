@@ -293,7 +293,7 @@ mod tests {
         let mut c = Channel::new(2, 10);
         c.reserve(0); // lane0 -> 10
         c.reserve_for(0, 2); // lane1 -> 2
-        // Next transfer at t=3 should use lane1 (free at 2), not lane0.
+                             // Next transfer at t=3 should use lane1 (free at 2), not lane0.
         assert_eq!(c.reserve(3), 13);
     }
 

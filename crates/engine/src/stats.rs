@@ -198,7 +198,11 @@ impl Log2Histogram {
 
     /// Adds one value.
     pub fn add(&mut self, v: u64) {
-        let idx = if v == 0 { 0 } else { 63 - v.leading_zeros() as usize };
+        let idx = if v == 0 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        };
         self.buckets[idx] += 1;
         self.count += 1;
         self.sum += v as u128;
@@ -229,7 +233,9 @@ impl Log2Histogram {
         self.buckets[i]
     }
 
-    /// Approximate p-th percentile (`p` in `[0,1]`) from bucket midpoints.
+    /// Approximate p-th percentile (`p` in `[0,1]`) from bucket midpoints,
+    /// clamped so it never exceeds [`Log2Histogram::max`] (the top
+    /// bucket's midpoint can otherwise overshoot the largest observation).
     pub fn percentile(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -240,10 +246,21 @@ impl Log2Histogram {
             seen += c;
             if seen >= target.max(1) {
                 // midpoint of [2^i, 2^(i+1))
-                return (1u64 << i) + ((1u64 << i) >> 1);
+                let mid = (1u64 << i) + ((1u64 << i) >> 1);
+                return mid.min(self.max);
             }
         }
         self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
     }
 }
 
@@ -334,6 +351,40 @@ mod tests {
         assert_eq!(h.bucket(10), 1); // 1024
         assert_eq!(h.count(), 5);
         assert_eq!(h.max(), 1024);
+    }
+
+    #[test]
+    fn histogram_percentile_never_exceeds_max() {
+        // Regression: the top bucket's midpoint used to overshoot max().
+        // 1000 lands in bucket 9 ([512, 1024)) whose midpoint is 768 — fine
+        // — but 600 lands in the same bucket and 768 > 600.
+        let mut h = Log2Histogram::new();
+        h.add(600);
+        assert_eq!(h.percentile(1.0), 600);
+        assert!(h.percentile(0.5) <= h.max());
+
+        let mut h2 = Log2Histogram::new();
+        h2.add(5);
+        h2.add(1025);
+        assert!(h2.percentile(0.99) <= h2.max());
+        assert_eq!(Log2Histogram::new().percentile(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_merge_matches_sequential() {
+        let mut whole = Log2Histogram::new();
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        for v in [0u64, 1, 7, 100, 431, 9000] {
+            whole.add(v);
+            if v < 100 {
+                a.add(v);
+            } else {
+                b.add(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
     }
 
     #[test]

@@ -1,9 +1,8 @@
 //! The sliced off-chip L3 victim cache controller.
 
-use cmpsim_cache::{
-    InsertPosition, LineAddr, ReplacementPolicy, SlicedGeometry, TagArray,
-};
+use cmpsim_cache::{InsertPosition, LineAddr, ReplacementPolicy, SlicedGeometry, TagArray};
 use cmpsim_coherence::{L3State, SnoopResponse};
+use cmpsim_engine::telemetry::{L3RetryReason, SimEvent, Telemetry};
 use cmpsim_engine::{Channel, Cycle, SlotPool};
 
 /// L3 configuration.
@@ -118,6 +117,7 @@ pub struct L3Cache {
     cfg: L3Config,
     slices: Vec<Slice>,
     stats: L3Stats,
+    telemetry: Telemetry,
 }
 
 #[derive(Debug, Clone)]
@@ -152,7 +152,21 @@ impl L3Cache {
             cfg,
             slices,
             stats: L3Stats::default(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches an event-trace handle; each retry the controller issues
+    /// is emitted as a [`SimEvent::L3Retry`] naming the full resource.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    fn trace_retry(&self, now: Cycle, reason: L3RetryReason, line: LineAddr) {
+        self.telemetry.emit(now, || SimEvent::L3Retry {
+            reason,
+            line: line.raw(),
+        });
     }
 
     /// The configuration.
@@ -182,6 +196,7 @@ impl L3Cache {
             Some((_, &st)) => {
                 if slice.reads.in_use(now) >= slice.reads.capacity() {
                     self.stats.retries_issued += 1;
+                    self.trace_retry(now, L3RetryReason::ReadQueueFull, line);
                     SnoopResponse::L3Retry
                 } else {
                     self.stats.read_hits += 1;
@@ -212,6 +227,7 @@ impl L3Cache {
         // relieves by never issuing the transaction at all.
         if slice.data_in.in_use(now) >= slice.data_in.capacity() {
             self.stats.retries_issued += 1;
+            self.trace_retry(now, L3RetryReason::DataInFull, line);
             return SnoopResponse::L3Retry;
         }
         let present = slice.tags.probe(local).map(|(_, &s)| s);
@@ -245,9 +261,17 @@ impl L3Cache {
     /// # Panics
     ///
     /// Panics if the line is not present (the snoop said it was).
-    pub fn provide_read(&mut self, now: Cycle, line: LineAddr, invalidate: bool) -> (Cycle, L3State) {
+    pub fn provide_read(
+        &mut self,
+        now: Cycle,
+        line: LineAddr,
+        invalidate: bool,
+    ) -> (Cycle, L3State) {
         let local = self.cfg.geometry.slice_local(line);
-        let tail = self.cfg.array_cycles.saturating_sub(self.cfg.array_occupancy);
+        let tail = self
+            .cfg
+            .array_cycles
+            .saturating_sub(self.cfg.array_occupancy);
         let exclusive = self.cfg.exclusive_on_read_hit;
         let slice = self.slice_mut(line);
         let st = *slice
@@ -295,11 +319,19 @@ impl L3Cache {
         let slice = &mut self.slices[slice_idx as usize];
         if !slice.data_in.try_acquire(now, now + drain) {
             self.stats.retries_issued += 1;
+            self.trace_retry(now, L3RetryReason::CastoutBufferFull, line);
             return None;
         }
-        let tail = self.cfg.array_cycles.saturating_sub(self.cfg.array_occupancy);
+        let tail = self
+            .cfg
+            .array_cycles
+            .saturating_sub(self.cfg.array_occupancy);
         let done = slice.array_access(now, tail);
-        let new_state = if dirty { L3State::Dirty } else { L3State::Clean };
+        let new_state = if dirty {
+            L3State::Dirty
+        } else {
+            L3State::Clean
+        };
         let victim = match slice.tags.probe_mut(local) {
             Some((_, st)) => {
                 // Dirty overwrite of an existing copy.
@@ -360,7 +392,10 @@ mod tests {
         let line = LineAddr::new(1000);
         assert_eq!(l3.snoop_read(0, line), SnoopResponse::L3Miss);
         assert!(l3.accept_castout(0, line, false).is_some());
-        assert_eq!(l3.snoop_read(100, line), SnoopResponse::L3Hit(L3State::Clean));
+        assert_eq!(
+            l3.snoop_read(100, line),
+            SnoopResponse::L3Hit(L3State::Clean)
+        );
         assert_eq!(l3.stats().read_hits, 1);
         assert_eq!(l3.stats().read_misses, 1);
     }
@@ -380,9 +415,15 @@ mod tests {
         let mut l3 = small_l3();
         let line = LineAddr::new(5);
         l3.accept_castout(0, line, false);
-        assert_eq!(l3.snoop_castout(10, line, true), SnoopResponse::L3Hit(L3State::Clean));
+        assert_eq!(
+            l3.snoop_castout(10, line, true),
+            SnoopResponse::L3Hit(L3State::Clean)
+        );
         l3.accept_castout(10, line, true);
-        assert_eq!(l3.snoop_read(200, line), SnoopResponse::L3Hit(L3State::Dirty));
+        assert_eq!(
+            l3.snoop_read(200, line),
+            SnoopResponse::L3Hit(L3State::Dirty)
+        );
     }
 
     #[test]
@@ -491,6 +532,40 @@ mod tests {
         l3.snoop_read(1, line);
         l3.snoop_read(2, LineAddr::new(7));
         assert!((l3.load_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn telemetry_traces_each_retry_reason() {
+        use cmpsim_engine::telemetry::{L3RetryReason, SimEvent, Telemetry};
+
+        let (t, sink) = Telemetry::with_vec_sink();
+        let mut l3 = small_l3();
+        l3.attach_telemetry(t);
+        let q = l3.config().data_queue;
+        for i in 0..q as u64 {
+            assert!(l3.accept_castout(0, LineAddr::new(i * 4), false).is_some());
+        }
+        // Slice 0's data queue is now full: snoop bounces...
+        assert_eq!(
+            l3.snoop_castout(1, LineAddr::new(400), false),
+            SnoopResponse::L3Retry
+        );
+        // ...and so does a direct accept.
+        assert!(l3.accept_castout(1, LineAddr::new(404), false).is_none());
+        let reasons: Vec<L3RetryReason> = sink
+            .lock()
+            .unwrap()
+            .events()
+            .iter()
+            .map(|(_, e)| match e {
+                SimEvent::L3Retry { reason, .. } => *reason,
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            reasons,
+            [L3RetryReason::DataInFull, L3RetryReason::CastoutBufferFull]
+        );
     }
 
     #[test]

@@ -39,10 +39,7 @@ impl RingTopology {
     pub fn new(agents: Vec<AgentId>, hop_cycles: Cycle, collector: AgentId) -> Self {
         assert!(!agents.is_empty(), "ring needs at least one agent");
         for (i, a) in agents.iter().enumerate() {
-            assert!(
-                !agents[..i].contains(a),
-                "duplicate agent {a} on the ring"
-            );
+            assert!(!agents[..i].contains(a), "duplicate agent {a} on the ring");
         }
         assert!(
             agents.contains(&collector),

@@ -136,8 +136,8 @@ pub fn profile(records: &[TraceRecord], line_bytes: u64, threads_per_l2: u16) ->
     #[derive(Default)]
     struct LineInfo {
         touches: u64,
-        threads: u32,  // bitmask over first 32 thread ids
-        l2s: u8,       // bitmask over first 8 L2s
+        threads: u32, // bitmask over first 32 thread ids
+        l2s: u8,      // bitmask over first 8 L2s
     }
     let mut lines: HashMap<u64, LineInfo> = HashMap::new();
     let mut stores = 0u64;
@@ -163,7 +163,10 @@ pub fn profile(records: &[TraceRecord], line_bytes: u64, threads_per_l2: u16) ->
             stores * 1000 / records.len() as u64
         },
         footprint_lines: lines.len() as u64,
-        shared_lines: lines.values().filter(|i| i.threads.count_ones() > 1).count() as u64,
+        shared_lines: lines
+            .values()
+            .filter(|i| i.threads.count_ones() > 1)
+            .count() as u64,
         cross_l2_lines: lines.values().filter(|i| i.l2s.count_ones() > 1).count() as u64,
         max_line_touches: lines.values().map(|i| i.touches).max().unwrap_or(0),
     }
@@ -186,7 +189,12 @@ mod tests {
     #[test]
     fn reuse_distance_basics() {
         // Stream: 1 2 3 1 -> line 1 reused at distance 2.
-        let trace = vec![r(0, 1, false), r(0, 2, false), r(0, 3, false), r(0, 1, false)];
+        let trace = vec![
+            r(0, 1, false),
+            r(0, 2, false),
+            r(0, 3, false),
+            r(0, 1, false),
+        ];
         let rd = ReuseDistances::from_records(&trace, 128);
         assert_eq!(rd.cold_misses(), 3);
         assert_eq!(rd.total(), 4);

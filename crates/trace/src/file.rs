@@ -140,11 +140,7 @@ pub fn read_trace<R: Read>(mut r: R) -> Result<Vec<TraceRecord>, TraceFileError>
             b => return Err(TraceFileError::BadOp(b)),
         };
         let addr = u64::from_le_bytes(rec[3..11].try_into().expect("8 bytes"));
-        records.push(TraceRecord::new(
-            ThreadId::new(thread),
-            op,
-            Addr::new(addr),
-        ));
+        records.push(TraceRecord::new(ThreadId::new(thread), op, Addr::new(addr)));
     }
     Ok(records)
 }
@@ -158,7 +154,11 @@ mod tests {
             .map(|i| {
                 TraceRecord::new(
                     ThreadId::new((i % 16) as u16),
-                    if i % 3 == 0 { MemOp::Store } else { MemOp::Load },
+                    if i % 3 == 0 {
+                        MemOp::Store
+                    } else {
+                        MemOp::Load
+                    },
                     Addr::new(i * 128),
                 )
             })
@@ -205,7 +205,11 @@ mod tests {
 
     #[test]
     fn bad_op_detected() {
-        let recs = vec![TraceRecord::new(ThreadId::new(0), MemOp::Load, Addr::new(0))];
+        let recs = vec![TraceRecord::new(
+            ThreadId::new(0),
+            MemOp::Load,
+            Addr::new(0),
+        )];
         let mut buf = Vec::new();
         write_trace(&mut buf, &recs).unwrap();
         buf[18] = 7; // corrupt the op byte (8 magic + 8 count + 2 thread)

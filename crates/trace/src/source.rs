@@ -143,12 +143,7 @@ mod tests {
 
     #[test]
     fn partitions_by_thread() {
-        let mut p = TracePlayback::new(
-            "t",
-            vec![rec(0, 0), rec(1, 128), rec(0, 256)],
-            2,
-            1,
-        );
+        let mut p = TracePlayback::new("t", vec![rec(0, 0), rec(1, 128), rec(0, 256)], 2, 1);
         assert_eq!(p.next_record(ThreadId::new(1)).addr.raw(), 128);
         assert_eq!(p.next_record(ThreadId::new(0)).addr.raw(), 0);
         assert_eq!(p.next_record(ThreadId::new(0)).addr.raw(), 256);

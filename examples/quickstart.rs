@@ -14,7 +14,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = SystemConfig::scaled(8);
     cfg.max_outstanding = 6; // the paper's highest memory pressure
 
-    println!("simulating {} threads, {} L2 caches, policy = baseline", cfg.num_threads(), cfg.num_l2);
+    println!(
+        "simulating {} threads, {} L2 caches, policy = baseline",
+        cfg.num_threads(),
+        cfg.num_l2
+    );
     let base = run(RunSpec::for_workload(cfg.clone(), Workload::Trade2, 10_000))?;
     println!(
         "baseline : {:>9} cycles | L2 hit {:>5.1}% | L3 load hit {:>5.1}% | {} clean write-backs ({:.0}% redundant)",

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full verification: build, tests, formatting, and lints.
+# Tier-1 (ROADMAP.md) is the build + test pair; fmt and clippy extend it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "verify: OK"

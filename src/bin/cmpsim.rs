@@ -1,18 +1,24 @@
 //! `cmpsim` — command-line driver for the CMP cache-hierarchy simulator.
 //!
-//! Runs one simulation and prints a report, optionally as CSV.
+//! Runs one simulation and prints a report, optionally as CSV or JSON
+//! (both rendered from one shared metrics registry, so the two formats
+//! always agree). `--trace-events` streams typed simulator events to a
+//! JSONL file and `--interval-stats` samples counters periodically.
 //!
 //! ```text
 //! cmpsim [--workload tp|cpw2|notesbench|trade2] [--policy baseline|wbht|snarf|combined]
 //!        [--entries N] [--outstanding 1..6] [--refs N] [--scale N] [--seed N]
-//!        [--trace FILE] [--granularity N] [--global-wbht] [--csv]
+//!        [--trace FILE] [--granularity N] [--global-wbht] [--csv] [--json]
+//!        [--trace-events FILE] [--interval-stats N] [--quiet] [--verbose]
 //! ```
 
 use std::process::ExitCode;
 
 use cmp_hierarchies::adaptive::{
-    PolicyConfig, SnarfConfig, System, SystemConfig, UpdateScope, WbhtConfig,
+    PolicyConfig, RunReport, SnarfConfig, System, SystemConfig, UpdateScope, WbhtConfig,
 };
+use cmp_hierarchies::engine::telemetry::TelemetryConfig;
+use cmp_hierarchies::engine::Cycle;
 use cmp_hierarchies::trace::{file as trace_file, TracePlayback, Workload};
 
 #[derive(Debug)]
@@ -29,6 +35,10 @@ struct Args {
     global_wbht: bool,
     csv: bool,
     json: bool,
+    trace_events: Option<String>,
+    interval_stats: Option<Cycle>,
+    quiet: bool,
+    verbose: bool,
 }
 
 impl Default for Args {
@@ -46,6 +56,10 @@ impl Default for Args {
             global_wbht: false,
             csv: false,
             json: false,
+            trace_events: None,
+            interval_stats: None,
+            quiet: false,
+            verbose: false,
         }
     }
 }
@@ -54,10 +68,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "--workload" | "-w" => {
                 args.workload = match value("--workload")?.to_lowercase().as_str() {
@@ -70,7 +81,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--policy" | "-p" => args.policy = value("--policy")?.to_lowercase(),
             "--entries" => args.entries = parse_num(&value("--entries")?)?,
-            "--outstanding" | "-o" => args.outstanding = parse_num(&value("--outstanding")?)? as u32,
+            "--outstanding" | "-o" => {
+                args.outstanding = parse_num(&value("--outstanding")?)? as u32
+            }
             "--refs" | "-n" => args.refs = parse_num(&value("--refs")?)?,
             "--scale" => args.scale = parse_num(&value("--scale")?)?,
             "--seed" => args.seed = parse_num(&value("--seed")?)?,
@@ -79,6 +92,12 @@ fn parse_args() -> Result<Args, String> {
             "--global-wbht" => args.global_wbht = true,
             "--csv" => args.csv = true,
             "--json" => args.json = true,
+            "--trace-events" => args.trace_events = Some(value("--trace-events")?),
+            "--interval-stats" => {
+                args.interval_stats = Some(parse_num(&value("--interval-stats")?)?.max(1));
+            }
+            "--quiet" | "-q" => args.quiet = true,
+            "--verbose" | "-v" => args.verbose = true,
             "--help" | "-h" => {
                 println!("{}", HELP);
                 std::process::exit(0);
@@ -115,7 +134,17 @@ OPTIONS:
         --granularity N    lines per WBHT entry (power of two) [1]
         --global-wbht      allocate WBHT entries in all L2s (Figure 3 mode)
         --csv              machine-readable one-line CSV output
-        --json             machine-readable JSON summary";
+        --json             machine-readable JSON summary
+        --trace-events F   stream typed simulator events to F as JSON lines
+        --interval-stats N snapshot counters every N cycles (see --verbose)
+    -q, --quiet            suppress the human-readable report
+    -v, --verbose          additionally print per-interval counter deltas
+
+OBSERVABILITY:
+    --trace-events and --interval-stats are zero-cost when off. The JSONL
+    trace can be summarized with the telemetry_report tool:
+        cmpsim -p combined --trace-events out.jsonl --interval-stats 100000
+        telemetry_report out.jsonl";
 
 fn main() -> ExitCode {
     match real_main() {
@@ -176,14 +205,8 @@ fn real_main() -> Result<(), String> {
     let mut sys = match &args.trace {
         Some(path) => {
             let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
-            let records =
-                trace_file::read_trace(&data[..]).map_err(|e| format!("{path}: {e}"))?;
-            let playback = TracePlayback::new(
-                path.clone(),
-                records,
-                cfg.num_threads(),
-                1,
-            );
+            let records = trace_file::read_trace(&data[..]).map_err(|e| format!("{path}: {e}"))?;
+            let playback = TracePlayback::new(path.clone(), records, cfg.num_threads(), 1);
             System::with_source(cfg.clone(), Box::new(playback)).map_err(|e| e.to_string())?
         }
         None => {
@@ -191,74 +214,90 @@ fn real_main() -> Result<(), String> {
             System::new(cfg.clone(), params).map_err(|e| e.to_string())?
         }
     };
-    let stats = sys.run(args.refs);
 
-    let l3 = sys.l3().stats();
-    let l3_hit = if l3.read_hits + l3.read_misses > 0 {
-        l3.read_hits as f64 / (l3.read_hits + l3.read_misses) as f64
-    } else {
-        0.0
+    let tel_cfg = TelemetryConfig {
+        trace_path: args.trace_events.clone().map(Into::into),
+        interval: args.interval_stats,
     };
+    let telemetry = tel_cfg
+        .build()
+        .map_err(|e| format!("--trace-events: {e}"))?;
+    if telemetry.is_enabled() {
+        sys.set_telemetry(telemetry.clone());
+    }
+    if let Some(period) = args.interval_stats {
+        sys.enable_interval_sampling(period);
+    }
+
+    let stats = sys.run(args.refs);
+    telemetry.flush();
+
+    let report = RunReport {
+        workload: args
+            .trace
+            .clone()
+            .unwrap_or_else(|| args.workload.name().to_string()),
+        policy: cfg.policy.label(),
+        max_outstanding: cfg.max_outstanding,
+        stats,
+        l3: sys.l3_stats(),
+        mem: sys.memory().stats(),
+        ring: sys.ring_stats(),
+        wbht: sys.wbht_stats(),
+        snarf_table: sys.snarf_table_stats(),
+        intervals: sys.interval_records().to_vec(),
+    };
+    // One registry feeds every machine-readable format, so JSON and CSV
+    // cannot drift apart (they once disagreed on which snarf counter the
+    // "snarfed" column reported).
+    let metrics = report.metrics();
+
     if args.json {
-        println!(
-            concat!(
-                "{{\"workload\":\"{}\",\"policy\":\"{}\",\"outstanding\":{},",
-                "\"cycles\":{},\"refs\":{},\"l2_hit_rate\":{:.6},\"l3_load_hit_rate\":{:.6},",
-                "\"wb_requests\":{},\"wb_clean_aborted\":{},\"wb_clean_redundant_rate\":{:.6},",
-                "\"wb_snarfed\":{},\"retries_l3\":{},\"off_chip\":{},",
-                "\"mean_miss_latency\":{:.2}}}"
-            ),
-            args.workload.name(),
-            args.policy,
-            args.outstanding,
-            stats.cycles,
-            stats.refs,
-            stats.l2_hit_rate(),
-            l3_hit,
-            stats.wb.requests(),
-            stats.wb.clean_aborted,
-            stats.wb.clean_redundant_rate(),
-            stats.wb.snarfed,
-            stats.retries_l3,
-            stats.off_chip_accesses(),
-            stats.miss_latency.mean(),
-        );
+        println!("{}", metrics.to_json());
     } else if args.csv {
-        println!(
-            "workload,policy,outstanding,cycles,refs,l2_hit,l3_hit,wb_requests,clean_aborted,\
-             clean_redundant,snarfed,retries_l3,offchip"
-        );
-        println!(
-            "{},{},{},{},{},{:.4},{:.4},{},{},{:.4},{},{},{}",
-            args.workload.name(),
-            args.policy,
-            args.outstanding,
-            stats.cycles,
-            stats.refs,
-            stats.l2_hit_rate(),
-            l3_hit,
-            stats.wb.requests(),
-            stats.wb.clean_aborted,
-            stats.wb.clean_redundant_rate(),
-            stats.snarf.snarfed,
-            stats.retries_l3,
-            stats.off_chip_accesses(),
-        );
-    } else {
-        println!("workload      : {}", args.workload.name());
-        println!("policy        : {}", args.policy);
-        println!("outstanding   : {}", args.outstanding);
-        println!("cycles        : {}", stats.cycles);
-        println!("references    : {}", stats.refs);
-        println!("L2 hit rate   : {:.1}%", stats.l2_hit_rate() * 100.0);
+        let (header, row) = metrics.to_csv();
+        println!("{header}");
+        println!("{row}");
+    } else if !args.quiet {
+        let s = &report.stats;
+        let l3_hit = match metrics.get("l3_load_hit_rate") {
+            Some(cmp_hierarchies::engine::metrics::Metric::Gauge(v)) => *v,
+            _ => 0.0,
+        };
+        println!("workload      : {}", report.workload);
+        println!("policy        : {}", report.policy);
+        println!("outstanding   : {}", report.max_outstanding);
+        println!("cycles        : {}", s.cycles);
+        println!("references    : {}", s.refs);
+        println!("L2 hit rate   : {:.1}%", s.l2_hit_rate() * 100.0);
         println!("L3 load hits  : {:.1}%", l3_hit * 100.0);
-        println!("WB requests   : {}", stats.wb.requests());
-        println!("  redundant   : {:.1}%", stats.wb.clean_redundant_rate() * 100.0);
-        println!("  WBHT aborts : {}", stats.wb.clean_aborted);
-        println!("  snarfed     : {}", stats.wb.snarfed);
-        println!("L3 retries    : {}", stats.retries_l3);
-        println!("off-chip      : {}", stats.off_chip_accesses());
-        println!("mean miss lat : {:.0} cycles", stats.miss_latency.mean());
+        println!("WB requests   : {}", s.wb.requests());
+        println!(
+            "  redundant   : {:.1}%",
+            s.wb.clean_redundant_rate() * 100.0
+        );
+        println!("  WBHT aborts : {}", s.wb.clean_aborted);
+        println!("  snarfed     : {}", s.wb.snarfed);
+        println!("L3 retries    : {}", s.retries_l3);
+        println!("off-chip      : {}", s.off_chip_accesses());
+        println!("mean miss lat : {:.0} cycles", s.miss_latency.mean());
+    }
+
+    if args.verbose && !report.intervals.is_empty() {
+        let period = args.interval_stats.unwrap_or_default();
+        println!(
+            "intervals     : {} (period {period})",
+            report.intervals.len()
+        );
+        for rec in &report.intervals {
+            let deltas: Vec<String> = rec
+                .counters
+                .iter()
+                .filter(|(_, v)| *v > 0)
+                .map(|(n, v)| format!("{n}={v}"))
+                .collect();
+            println!("  [{}, {}) {}", rec.start, rec.end, deltas.join(" "));
+        }
     }
     Ok(())
 }

@@ -2,9 +2,7 @@
 //! parameters and policies, the system must terminate, conserve
 //! references, respect coherence invariants, and stay deterministic.
 
-use cmp_hierarchies::adaptive::{
-    PolicyConfig, SnarfConfig, System, SystemConfig, WbhtConfig,
-};
+use cmp_hierarchies::adaptive::{PolicyConfig, SnarfConfig, System, SystemConfig, WbhtConfig};
 use cmp_hierarchies::trace::{SegmentMix, WorkloadParams};
 use proptest::prelude::*;
 
@@ -24,14 +22,8 @@ fn arb_mix() -> impl Strategy<Value = SegmentMix> {
 }
 
 fn arb_params() -> impl Strategy<Value = WorkloadParams> {
-    (
-        arb_mix(),
-        16u64..2048,
-        1.0f64..4.0,
-        0.0f64..0.5,
-        1u64..4,
-    )
-        .prop_map(|(mix, region, theta, store, interval)| WorkloadParams {
+    (arb_mix(), 16u64..2048, 1.0f64..4.0, 0.0f64..0.5, 1u64..4).prop_map(
+        |(mix, region, theta, store, interval)| WorkloadParams {
             name: "prop".into(),
             line_bytes: 128,
             threads: 16,
@@ -52,7 +44,8 @@ fn arb_params() -> impl Strategy<Value = WorkloadParams> {
             shared_store_frac: store / 4.0,
             migratory_lines: (region / 4).max(16),
             migratory_rmw_frac: 0.5,
-        })
+        },
+    )
 }
 
 fn arb_policy() -> impl Strategy<Value = PolicyConfig> {

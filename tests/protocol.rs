@@ -183,7 +183,10 @@ fn capacity_eviction_casts_out_and_l3_serves_refetch() {
     s.load(0, X); // refetch after the castout resolved
     let sys = s.run(PolicyConfig::Baseline);
     let stats = sys.stats();
-    assert!(stats.wb.dirty_requests >= 1, "dirty castout must reach the bus");
+    assert!(
+        stats.wb.dirty_requests >= 1,
+        "dirty castout must reach the bus"
+    );
     assert!(
         sys.l3().peek(line_addr(X)) || sys.l2_state(0, line_addr(X)).is_some(),
         "the dirty line must survive somewhere"
@@ -241,6 +244,9 @@ fn private_l3_keeps_castouts_out_of_the_ring() {
     sys.run(600);
     let stats = sys.stats();
     assert!(stats.wb.dirty_requests >= 1);
-    assert!(stats.wb.accepted_l3 >= 1, "private L3 must absorb the castout");
+    assert!(
+        stats.wb.accepted_l3 >= 1,
+        "private L3 must absorb the castout"
+    );
     sys.check_invariants();
 }

@@ -100,12 +100,7 @@ fn wbht_reduces_writeback_requests_under_pressure() {
         6_000,
     ))
     .unwrap();
-    let with = run(spec_for(
-        cfg_with(wbht(2048), 6),
-        Workload::Trade2,
-        6_000,
-    ))
-    .unwrap();
+    let with = run(spec_for(cfg_with(wbht(2048), 6), Workload::Trade2, 6_000)).unwrap();
     assert!(
         with.stats.wb.clean_aborted > 0,
         "WBHT must abort some clean write-backs"
@@ -140,12 +135,7 @@ fn retry_switch_disengages_at_low_pressure() {
 
 #[test]
 fn snarf_absorbs_and_squashes() {
-    let r = run(spec_for(
-        cfg_with(snarf(2048), 6),
-        Workload::Tp,
-        6_000,
-    ))
-    .unwrap();
+    let r = run(spec_for(cfg_with(snarf(2048), 6), Workload::Tp, 6_000)).unwrap();
     assert!(r.stats.snarf.snarfed > 0, "some castouts must be snarfed");
     assert!(
         r.stats.wb.squashed_peer > 0,
@@ -325,12 +315,7 @@ fn table1_band_clean_redundancy() {
     // Table 1: the fraction of clean write-backs already valid in the
     // L3 is substantial for every workload ("can be greater than 50%").
     for wl in Workload::all() {
-        let r = run(spec_for(
-            cfg_with(PolicyConfig::Baseline, 6),
-            wl,
-            8_000,
-        ))
-        .unwrap();
+        let r = run(spec_for(cfg_with(PolicyConfig::Baseline, 6), wl, 8_000)).unwrap();
         let rate = r.stats.wb.clean_redundant_rate();
         assert!(
             (0.15..0.95).contains(&rate),

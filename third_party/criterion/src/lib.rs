@@ -1,0 +1,185 @@
+//! Offline drop-in subset of the [criterion](https://crates.io/crates/criterion)
+//! benchmarking API.
+//!
+//! The container this repository grows in has no network access, so the real
+//! criterion crate cannot be fetched. This shim implements the subset the
+//! workspace's benches use — `black_box`, `Criterion`, benchmark groups with
+//! `throughput`/`sample_size`/`bench_function`/`finish`, `Bencher::iter`,
+//! `Throughput`, and the `criterion_group!`/`criterion_main!` macros — with a
+//! simple calibrated wall-clock timer and a plain-text report. There is no
+//! statistical analysis, HTML output, or baseline comparison.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark
+/// bodies. Same contract as `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-iteration payload size, used to annotate the report.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver handed to each `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut g = self.benchmark_group(name.clone());
+        g.bench_function(name, f);
+        g.finish();
+        self
+    }
+}
+
+/// A named set of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates per-iteration payload for the report.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets how many timed samples to take (default 20).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Times `f` and prints one report line.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        // Calibration pass: find an iteration count that runs ~5ms.
+        let mut iters = 1u64;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(5) || iters >= 1 << 24 {
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+        // Timed samples; keep the best (least-noise) per-iteration time.
+        let mut best = f64::INFINITY;
+        let mut worst = 0.0f64;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            let per_iter = b.elapsed.as_secs_f64() / iters as f64;
+            best = best.min(per_iter);
+            worst = worst.max(per_iter);
+        }
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.0} elem/s", n as f64 / best)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12.0} B/s", n as f64 / best)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{:<32} best {}  worst {}{}",
+            self.name,
+            id,
+            format_time(best),
+            format_time(worst),
+            rate
+        );
+        self
+    }
+
+    /// Ends the group (report lines are printed eagerly; this is a no-op
+    /// kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:>8.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:>8.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:>8.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:>8.2} s ")
+    }
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the calibrated number of iterations, timing the batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a benchmark group: a function running each listed target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
