@@ -8,13 +8,36 @@
 //!
 //! The trace format is one JSON object per line with at least `"t"`
 //! (cycle) and `"type"` (event kind); this tool extracts both with
-//! plain string scanning so it needs no JSON dependency and tolerates
-//! new event kinds it has never seen.
+//! plain string scanning so it needs no JSON dependency. Event kinds it
+//! does not recognize (from a newer simulator) are skipped and counted
+//! rather than folded into the per-type table, so the report never
+//! misattributes statistics it does not understand.
 
 use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{BufRead, BufReader};
 use std::process::ExitCode;
+
+/// Every event kind this report understands — the `SimEvent::kind`
+/// vocabulary as of this tool's build. Traces from newer simulators may
+/// contain more; those are skipped and counted as unknown.
+const KNOWN_KINDS: &[&str] = &[
+    "l2_miss",
+    "l2_fill",
+    "castout_issued",
+    "castout_aborted",
+    "castout_squashed",
+    "castout_snarfed",
+    "castout_accepted",
+    "wbht_allocate",
+    "wbht_predict",
+    "wbht_mispredict",
+    "retry_switch_flip",
+    "snarf_arbitration",
+    "snarf_buffer_declined",
+    "l3_retry",
+    "interval",
+];
 
 /// Extracts the string value of `"key":"..."` from one JSON line.
 fn str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
@@ -53,6 +76,7 @@ fn main() -> ExitCode {
     let mut last_t: u64 = 0;
     let mut lines: u64 = 0;
     let mut malformed: u64 = 0;
+    let mut unknown: BTreeMap<String, u64> = BTreeMap::new();
     let mut intervals: Vec<(u64, u64)> = Vec::new(); // (start, end)
 
     for line in BufReader::new(file).lines() {
@@ -71,6 +95,10 @@ fn main() -> ExitCode {
             malformed += 1;
             continue;
         };
+        if !KNOWN_KINDS.contains(&kind) {
+            *unknown.entry(kind.to_string()).or_insert(0) += 1;
+            continue;
+        }
         *counts.entry(kind.to_string()).or_insert(0) += 1;
         first_t.get_or_insert(t);
         last_t = last_t.max(t);
@@ -82,8 +110,11 @@ fn main() -> ExitCode {
     }
 
     let total: u64 = counts.values().sum();
+    let skipped: u64 = unknown.values().sum();
     println!("trace         : {path}");
-    println!("events        : {total} ({lines} lines, {malformed} malformed)");
+    println!(
+        "events        : {total} ({lines} lines, {malformed} malformed, {skipped} unknown-kind)"
+    );
     if let Some(first) = first_t {
         println!("time range    : [{first}, {last_t}]");
     }
@@ -97,6 +128,12 @@ fn main() -> ExitCode {
             *n as f64 * 100.0 / total as f64
         };
         println!("  {kind:<24} {n:>10}  {share:5.1}%");
+    }
+    if !unknown.is_empty() {
+        println!("skipped unknown kinds:");
+        for (kind, n) in &unknown {
+            println!("  {kind:<24} {n:>10}");
+        }
     }
     if !intervals.is_empty() {
         let covered: u64 = intervals.iter().map(|(s, e)| e.saturating_sub(*s)).sum();

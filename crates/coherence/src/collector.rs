@@ -8,6 +8,8 @@
 //! fashion from the set of L2 caches that are able to accept the cache
 //! line".
 
+use cmpsim_engine::telemetry::FillSource;
+
 use crate::{BusTxn, L2Id, L3State, SnoopResponse, TxnKind};
 
 /// Where the data for a read-class transaction comes from.
@@ -39,6 +41,15 @@ impl DataSource {
     /// Is this an off-chip access (L3 or memory)?
     pub fn is_off_chip(self) -> bool {
         !self.is_intervention()
+    }
+
+    /// The telemetry/span fill-source tag for this data source.
+    pub fn fill_source(self) -> FillSource {
+        match self {
+            DataSource::L2 { .. } => FillSource::L2Peer,
+            DataSource::L3 { .. } => FillSource::L3,
+            DataSource::Memory => FillSource::Memory,
+        }
     }
 }
 
@@ -596,6 +607,20 @@ mod tests {
         .is_intervention());
         assert!(DataSource::L3 { dirty: false }.is_off_chip());
         assert!(DataSource::Memory.is_off_chip());
+    }
+
+    #[test]
+    fn data_source_maps_to_fill_source() {
+        let l2 = DataSource::L2 {
+            provider: L2Id::new(3),
+            dirty: true,
+        };
+        assert_eq!(l2.fill_source(), FillSource::L2Peer);
+        assert_eq!(
+            DataSource::L3 { dirty: false }.fill_source(),
+            FillSource::L3
+        );
+        assert_eq!(DataSource::Memory.fill_source(), FillSource::Memory);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use cmpsim_cache::LineAddr;
+use cmpsim_engine::spans::{SpanId, SpanKind};
 
 use crate::{L2Id, L3State, TxnId};
 
@@ -81,6 +82,22 @@ impl BusTxn {
     pub fn with_snarf(mut self) -> Self {
         self.snarf_eligible = true;
         self
+    }
+
+    /// The transaction's span id for latency tracing. Transaction ids are
+    /// unique for the life of a run and stable across retries (the same
+    /// `BusTxn` is re-issued), so the id doubles as the span identity.
+    pub fn span_id(&self) -> SpanId {
+        self.id.raw()
+    }
+
+    /// The span kind this transaction maps to.
+    pub fn span_kind(&self) -> SpanKind {
+        match self.kind {
+            TxnKind::ReadShared | TxnKind::ReadExclusive => SpanKind::Miss,
+            TxnKind::Upgrade => SpanKind::Upgrade,
+            TxnKind::CastoutDirty | TxnKind::CastoutClean => SpanKind::Castout,
+        }
     }
 }
 

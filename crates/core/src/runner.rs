@@ -1,6 +1,7 @@
 //! Convenience runner producing a complete report per simulation.
 
 use cmpsim_engine::metrics::MetricsRegistry;
+use cmpsim_engine::spans::{SpanRecord, SpanSummary, SpanTracer};
 use cmpsim_engine::telemetry::{IntervalRecord, Telemetry};
 use cmpsim_engine::Cycle;
 use cmpsim_trace::{Workload, WorkloadParams};
@@ -32,6 +33,13 @@ pub struct RunReport {
     pub snarf_table: Option<SnarfStats>,
     /// Interval snapshots, when interval sampling was enabled.
     pub intervals: Vec<IntervalRecord>,
+    /// Completed transaction spans, when span tracing was enabled
+    /// (empty otherwise). Feed to
+    /// [`cmpsim_engine::spans::write_chrome_trace`] for Perfetto.
+    pub spans: Vec<SpanRecord>,
+    /// Span accounting (counts + per-fill-source latency histograms),
+    /// when span tracing was enabled.
+    pub span_summary: Option<SpanSummary>,
 }
 
 impl RunReport {
@@ -82,6 +90,14 @@ impl RunReport {
         m.set_counter("ring_addr_txns", self.ring.addr_issued);
         m.set_counter("mem_reads", self.mem.reads);
         m.set_counter("mem_writes", self.mem.writes);
+        m.set_counter("mshr_high_water", s.mshr_high_water);
+        m.set_counter("wbq_high_water", s.wbq_high_water);
+        m.set_counter("event_queue_high_water", s.event_queue_high_water);
+        m.set_counter("l3_read_queue_high_water", self.l3.read_queue_high_water);
+        m.set_counter("l3_data_queue_high_water", self.l3.data_queue_high_water);
+        if let Some(spans) = &self.span_summary {
+            spans.register_into(&mut m);
+        }
         m
     }
 
@@ -122,6 +138,8 @@ pub struct RunSpec {
     pub telemetry: Telemetry,
     /// Interval-sampling period in cycles, when set.
     pub interval_stats: Option<Cycle>,
+    /// Transaction span tracer (disabled by default: zero cost).
+    pub span_tracer: SpanTracer,
 }
 
 impl RunSpec {
@@ -135,6 +153,7 @@ impl RunSpec {
             retry_switch: None,
             telemetry: Telemetry::disabled(),
             interval_stats: None,
+            span_tracer: SpanTracer::disabled(),
         }
     }
 }
@@ -170,6 +189,10 @@ pub fn run(spec: RunSpec) -> Result<RunReport, SystemError> {
     if let Some(period) = spec.interval_stats {
         sys.enable_interval_sampling(period);
     }
+    let tracing = spec.span_tracer.is_enabled();
+    if tracing {
+        sys.set_span_tracer(spec.span_tracer.clone());
+    }
     let stats = sys.run(spec.refs_per_thread);
     Ok(RunReport {
         workload: workload_name,
@@ -182,6 +205,12 @@ pub fn run(spec: RunSpec) -> Result<RunReport, SystemError> {
         wbht: sys.wbht_stats(),
         snarf_table: sys.snarf_table_stats(),
         intervals: sys.interval_records().to_vec(),
+        spans: if tracing {
+            spec.span_tracer.finished_spans()
+        } else {
+            Vec::new()
+        },
+        span_summary: tracing.then(|| spec.span_tracer.summary()),
     })
 }
 
@@ -243,6 +272,37 @@ mod tests {
         assert!(!r.intervals.is_empty());
         let last = r.intervals.last().unwrap();
         assert_eq!(last.end, r.cycles());
+    }
+
+    #[test]
+    fn span_tracer_spec_collects_spans() {
+        let mut spec = RunSpec::for_workload(SystemConfig::scaled(16), Workload::Cpw2, 400);
+        spec.span_tracer = SpanTracer::sampled(1);
+        let r = run(spec).unwrap();
+        assert!(!r.spans.is_empty());
+        let summary = r.span_summary.as_ref().unwrap();
+        assert_eq!(summary.recorded, r.spans.len() as u64);
+        // Telescoping: queue wait + service tiles every span exactly.
+        for s in &r.spans {
+            assert_eq!(s.queue_wait() + s.service(), s.total(), "span {}", s.id);
+            assert!(s.outcome.is_some(), "span {} left unfinished", s.id);
+        }
+        // The summary's histograms surface in the metrics registry.
+        let json = r.to_json();
+        assert!(json.contains("\"spans_recorded\":"));
+        assert!(json.contains("\"span_memory_total.count\":"));
+    }
+
+    #[test]
+    fn high_water_metrics_exported() {
+        let spec = RunSpec::for_workload(SystemConfig::scaled(16), Workload::Trade2, 400);
+        let r = run(spec).unwrap();
+        assert!(r.stats.mshr_high_water > 0);
+        assert!(r.stats.event_queue_high_water > 0);
+        let json = r.to_json();
+        assert!(json.contains("\"mshr_high_water\":"));
+        assert!(json.contains("\"wbq_high_water\":"));
+        assert!(json.contains("\"l3_read_queue_high_water\":"));
     }
 
     #[test]

@@ -175,6 +175,15 @@ pub struct SystemStats {
     pub snarf: SnarfUsage,
     /// Miss latency distribution (issue to fill).
     pub miss_latency: Log2Histogram,
+    /// Peak MSHR occupancy observed across all L2s (out of
+    /// `mshr_entries`; sustained saturation parks threads).
+    pub mshr_high_water: u64,
+    /// Peak write-back queue occupancy observed across all L2s (a full
+    /// queue blocks L2 misses, §2.1).
+    pub wbq_high_water: u64,
+    /// Peak event-queue population in the simulation engine (simulator
+    /// health, not a modelled structure).
+    pub event_queue_high_water: u64,
 }
 
 impl std::fmt::Display for SystemStats {

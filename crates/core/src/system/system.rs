@@ -7,8 +7,9 @@ use cmpsim_coherence::{
     AgentId, BusTxn, CombinedResponse, DataSource, L2Id, L2State, SnoopCollector, SnoopResponse,
     TxnId, TxnKind, WbOutcome,
 };
+use cmpsim_engine::spans::{SpanOutcome, SpanPhase, SpanTracer};
 use cmpsim_engine::telemetry::{
-    FillSource, IntervalRecord, IntervalSampler, SimEvent, SquashReason, Telemetry,
+    IntervalRecord, IntervalSampler, SimEvent, SquashReason, Telemetry,
 };
 use cmpsim_engine::{Channel, Cycle, EventQueue};
 use cmpsim_mem::{L3Cache, MemoryController};
@@ -117,6 +118,9 @@ pub struct System {
     telemetry: Telemetry,
     /// Interval sampler snapshotting key counters every N cycles.
     sampler: Option<IntervalSampler>,
+    /// Transaction span tracer. Disabled by default: one dead branch per
+    /// instrumentation site, mirroring `telemetry`.
+    spans: SpanTracer,
 }
 
 /// Errors from building a [`System`].
@@ -262,6 +266,7 @@ impl System {
             cfg,
             telemetry: Telemetry::disabled(),
             sampler: None,
+            spans: SpanTracer::disabled(),
         })
     }
 
@@ -288,6 +293,21 @@ impl System {
             l3.attach_telemetry(telemetry.clone());
         }
         self.telemetry = telemetry;
+    }
+
+    /// Attaches a transaction span tracer. Every subsequent L2
+    /// miss/upgrade/castout transaction gets a cycle-stamped phase
+    /// timeline (subject to the tracer's sampling rate). Pass a clone and
+    /// keep the original: clones share one record book, so the caller can
+    /// read the finished spans after [`run`](Self::run).
+    pub fn set_span_tracer(&mut self, spans: SpanTracer) {
+        self.spans = spans;
+    }
+
+    /// The attached span tracer (disabled unless
+    /// [`set_span_tracer`](Self::set_span_tracer) was called).
+    pub fn span_tracer(&self) -> &SpanTracer {
+        &self.spans
     }
 
     /// Enables interval sampling: key counters are snapshotted every
@@ -418,6 +438,10 @@ impl System {
                     acc.retries_issued += s.retries_issued;
                     acc.invalidations += s.invalidations;
                     acc.dirty_victims_to_memory += s.dirty_victims_to_memory;
+                    acc.read_queue_high_water =
+                        acc.read_queue_high_water.max(s.read_queue_high_water);
+                    acc.data_queue_high_water =
+                        acc.data_queue_high_water.max(s.data_queue_high_water);
                 }
                 acc
             }
@@ -696,6 +720,8 @@ impl System {
                 self.threads[ti].outstanding += 1;
                 if primary {
                     let txn = BusTxn::new(self.txn_seq.bump(), kind, line, l2id);
+                    self.spans
+                        .start(txn.span_id(), txn.span_kind(), i as u32, line.raw(), t_now);
                     self.miss_issue.insert((i as u8, line.raw()), t_now);
                     self.queue.push(
                         (t_now + self.cfg.miss_detect_cycles).max(self.queue.now()),
@@ -724,6 +750,15 @@ impl System {
     fn bus_issue_miss(&mut self, now: Cycle, mut txn: BusTxn, attempt: u32) {
         let i = txn.src.index();
         let line = txn.line;
+        let sid = txn.span_id();
+        // First attempt: the segment since span start is the miss-detect
+        // / MSHR window. Retries: the segment since the combined response
+        // is back-off queueing.
+        if attempt == 0 {
+            self.spans.mark(sid, SpanPhase::MshrAlloc, now);
+        } else {
+            self.spans.mark(sid, SpanPhase::RetryBackoff, now);
+        }
         // Revalidate against state changes since the miss was detected
         // (snarfs, peer castout squashes, races during retries).
         let st = self.l2s[i].state_of(line);
@@ -731,6 +766,7 @@ impl System {
             (TxnKind::Upgrade, None) => txn.kind = TxnKind::ReadExclusive,
             (TxnKind::Upgrade, Some(s)) if s.is_writable() => {
                 // Already exclusive (e.g. peers vanished): done.
+                self.spans.finish(sid, SpanOutcome::ResolvedLocal, now);
                 self.queue.push(
                     now,
                     Ev::Fill {
@@ -743,6 +779,7 @@ impl System {
             }
             (TxnKind::ReadShared, Some(_)) => {
                 // The line arrived by other means (snarf): hit.
+                self.spans.finish(sid, SpanOutcome::ResolvedLocal, now);
                 self.queue.push(
                     now,
                     Ev::Fill {
@@ -755,6 +792,7 @@ impl System {
             }
             (TxnKind::ReadExclusive, Some(s)) => {
                 if s.is_writable() {
+                    self.spans.finish(sid, SpanOutcome::ResolvedLocal, now);
                     self.queue.push(
                         now,
                         Ev::Fill {
@@ -771,7 +809,9 @@ impl System {
         }
 
         let src_agent = AgentId::L2(txn.src);
-        let t_ring = self.ring.issue_address(now, src_agent);
+        let (arb_wait, t_ring) = self.ring.issue_address_timed(now, src_agent);
+        self.spans.mark(sid, SpanPhase::RingArb, now + arb_wait);
+        self.spans.mark(sid, SpanPhase::RingTransit, t_ring);
 
         // Snoop phase.
         let mut responses: Vec<SnoopResponse> = Vec::with_capacity(self.l2s.len() + 2);
@@ -818,6 +858,7 @@ impl System {
 
         match combined {
             CombinedResponse::Retry { l3_issued } => {
+                self.spans.mark(sid, SpanPhase::SnoopWindow, t_seen);
                 self.record_retry(t_seen, l3_issued);
                 self.stats.read_retries += 1;
                 self.queue.push(
@@ -831,6 +872,8 @@ impl System {
             }
             CombinedResponse::UpgradeOk => {
                 self.trace(line, &|| format!("upgrade-ok {}", txn.src));
+                self.spans.mark(sid, SpanPhase::SnoopWindow, t_seen);
+                self.spans.finish(sid, SpanOutcome::Upgraded, t_seen);
                 self.stats.upgrades += 1;
                 self.apply_invalidations(txn.src, line, None);
                 self.inbound_fills
@@ -936,6 +979,7 @@ impl System {
             }
         };
 
+        let sid = txn.span_id();
         let arrival = match source {
             DataSource::L2 { provider, dirty: _ } => {
                 let p = provider.index();
@@ -955,17 +999,27 @@ impl System {
                 }
                 let p_agent = AgentId::L2(provider);
                 let t_seen_p = self.ring.combined_arrival(t_collect, p_agent);
-                let t_data = self.l2s[p].array_srv.reserve(t_seen_p);
+                self.spans.mark(sid, SpanPhase::SnoopWindow, t_seen_p);
+                let (p_wait, t_data) = self.l2s[p].array_srv.reserve_timed(t_seen_p);
+                self.spans
+                    .mark(sid, SpanPhase::PeerQueue, t_seen_p + p_wait);
+                self.spans.mark(sid, SpanPhase::PeerService, t_data);
                 self.ring.transfer_data(t_data, p_agent, src_agent)
             }
             DataSource::L3 { .. } => {
                 self.stats.fills_from_l3 += 1;
                 let t_seen_l3 = self.ring.combined_arrival(t_collect, AgentId::L3);
+                self.spans.mark(sid, SpanPhase::SnoopWindow, t_seen_l3);
                 let invalidate = txn.kind == TxnKind::ReadExclusive;
                 let i = txn.src.index();
                 let occ = self.cfg.l3_link_occupancy;
                 let delay = self.cfg.l3_link_delay;
-                let (ready, _st) = self.l3_for(i).provide_read(t_seen_l3, line, invalidate);
+                let (ready, _st, l3_wait) = self
+                    .l3_for(i)
+                    .provide_read_timed(t_seen_l3, line, invalidate);
+                self.spans
+                    .mark(sid, SpanPhase::L3Queue, t_seen_l3 + l3_wait);
+                self.spans.mark(sid, SpanPhase::L3Service, ready);
                 let link = match self.cfg.l3_organization {
                     L3Organization::SharedVictim => &mut self.l3_link,
                     L3Organization::PrivatePerL2 => &mut self.private_l3_links[i],
@@ -975,7 +1029,11 @@ impl System {
             DataSource::Memory => {
                 self.stats.fills_from_memory += 1;
                 let t_seen_m = self.ring.combined_arrival(t_collect, AgentId::Memory);
-                let ready = self.mem.read(t_seen_m, line);
+                self.spans.mark(sid, SpanPhase::SnoopWindow, t_seen_m);
+                let (bank_wait, ready) = self.mem.read_timed(t_seen_m, line);
+                self.spans
+                    .mark(sid, SpanPhase::MemQueue, t_seen_m + bank_wait);
+                self.spans.mark(sid, SpanPhase::MemService, ready);
                 self.mem_link
                     .reserve_for(ready, self.cfg.mem_link_occupancy)
                     + self.cfg.mem_link_delay
@@ -990,21 +1048,19 @@ impl System {
         self.inbound_fills
             .insert((txn.src.index() as u8, line.raw()));
         let t_fill = arrival.max(t_seen);
+        self.spans.mark(sid, SpanPhase::DataReturn, t_fill);
+        self.spans
+            .finish(sid, SpanOutcome::Filled(source.fill_source()), t_fill);
         if self.telemetry.is_enabled() {
             let l2 = txn.src.index() as u32;
             let latency = self
                 .miss_issue
                 .get(&(txn.src.index() as u8, line.raw()))
                 .map_or(0, |&t0| t_fill.saturating_sub(t0));
-            let fill_source = match source {
-                DataSource::L2 { .. } => FillSource::L2Peer,
-                DataSource::L3 { .. } => FillSource::L3,
-                DataSource::Memory => FillSource::Memory,
-            };
             self.telemetry.emit(t_fill, || SimEvent::L2Fill {
                 l2,
                 line: line.raw(),
-                source: fill_source,
+                source: source.fill_source(),
                 latency,
             });
         }
@@ -1096,12 +1152,21 @@ impl System {
     fn bus_issue_castout(&mut self, now: Cycle, txn: BusTxn, dirty: bool, attempt: u32) {
         let i = txn.src.index();
         let line = txn.line;
+        let sid = txn.span_id();
         // The entry may have been claimed (RFO) or recovered since the
         // drain picked it.
         if !self.l2s[i].castouts_inflight.contains(&line) || !self.l2s[i].wbq.contains(line) {
+            self.spans.finish(sid, SpanOutcome::ResolvedLocal, now);
             self.l2s[i].castouts_inflight.remove(&line);
             self.queue.push(now, Ev::WbDrain(txn.src));
             return;
+        }
+        // First attempt: the segment since span start is the drain-to-bus
+        // issue gap. Retries: back-off queueing.
+        if attempt == 0 {
+            self.spans.mark(sid, SpanPhase::Issue, now);
+        } else {
+            self.spans.mark(sid, SpanPhase::RetryBackoff, now);
         }
         if self.cfg.l3_organization == L3Organization::PrivatePerL2 {
             self.private_castout(now, txn, dirty, attempt);
@@ -1131,7 +1196,9 @@ impl System {
         }
 
         let src_agent = AgentId::L2(txn.src);
-        let t_ring = self.ring.issue_address(now, src_agent);
+        let (arb_wait, t_ring) = self.ring.issue_address_timed(now, src_agent);
+        self.spans.mark(sid, SpanPhase::RingArb, now + arb_wait);
+        self.spans.mark(sid, SpanPhase::RingTransit, t_ring);
         let mut responses: Vec<SnoopResponse> = Vec::with_capacity(self.l2s.len() + 1);
         let mut t_collect: Cycle = self.ring.response_at_collector(t_ring, src_agent);
 
@@ -1182,6 +1249,7 @@ impl System {
 
         let combined = self.collector.combine(&txn, &responses);
         let t_seen = self.ring.combined_arrival(t_collect, src_agent);
+        self.spans.mark(sid, SpanPhase::SnoopWindow, t_seen);
 
         let outcome = match combined {
             CombinedResponse::Retry { l3_issued } => {
@@ -1214,6 +1282,7 @@ impl System {
         }
         match outcome {
             WbOutcome::SquashedAlreadyInL3 => {
+                self.spans.finish(sid, SpanOutcome::Squashed, t_seen);
                 self.stats.wb.clean_squashed_l3 += 1;
                 self.telemetry.emit(t_seen, || SimEvent::CastoutSquashed {
                     l2: i as u32,
@@ -1223,6 +1292,7 @@ impl System {
                 self.note_redundant_clean_wb(t_seen, txn.src, line);
             }
             WbOutcome::SquashedPeerHasCopy(p) => {
+                self.spans.finish(sid, SpanOutcome::Squashed, t_seen);
                 self.stats.wb.squashed_peer += 1;
                 self.telemetry.emit(t_seen, || SimEvent::CastoutSquashed {
                     l2: i as u32,
@@ -1249,14 +1319,20 @@ impl System {
                 });
                 self.inbound_snarfs.insert((p.index() as u8, line.raw()));
                 let arrival = self.ring.transfer_data(t_seen, src_agent, AgentId::L2(p));
+                self.spans.mark(sid, SpanPhase::DataReturn, arrival);
+                self.spans.finish(sid, SpanOutcome::Snarfed, arrival);
                 self.queue
                     .push(arrival, Ev::SnarfFill { l2: p, line, dirty });
             }
             WbOutcome::AcceptedByL3 { .. } => {
                 let t_arr = self.l3_link.reserve_for(t_seen, self.cfg.l3_link_occupancy)
                     + self.cfg.l3_link_delay;
-                match self.l3.accept_castout(t_arr, line, dirty) {
-                    Some((done, victim)) => {
+                self.spans.mark(sid, SpanPhase::DataReturn, t_arr);
+                match self.l3.accept_castout_timed(t_arr, line, dirty) {
+                    Some((done, victim, l3_wait)) => {
+                        self.spans.mark(sid, SpanPhase::L3Queue, t_arr + l3_wait);
+                        self.spans.mark(sid, SpanPhase::L3Service, done);
+                        self.spans.finish(sid, SpanOutcome::AcceptedL3, done);
                         self.stats.wb.accepted_l3 += 1;
                         self.telemetry.emit(t_arr, || SimEvent::CastoutAccepted {
                             l2: i as u32,
@@ -1300,6 +1376,7 @@ impl System {
     fn private_castout(&mut self, now: Cycle, txn: BusTxn, dirty: bool, attempt: u32) {
         let i = txn.src.index();
         let line = txn.line;
+        let sid = txn.span_id();
         if attempt == 0 {
             if dirty {
                 self.stats.wb.dirty_requests += 1;
@@ -1320,12 +1397,14 @@ impl System {
         let occ = self.cfg.l3_link_occupancy;
         let delay = self.cfg.l3_link_delay;
         let arrive = self.private_l3_links[i].reserve_for(now, occ) + delay;
+        self.spans.mark(sid, SpanPhase::DataReturn, arrive);
         let resp = self.l3_for(i).snoop_castout(arrive, line, dirty);
         self.trace(line, &|| {
             format!("private castout from {} -> {resp:?}", txn.src)
         });
         match resp {
             SnoopResponse::L3Hit(_) if !dirty => {
+                self.spans.finish(sid, SpanOutcome::Squashed, arrive);
                 self.stats.wb.clean_squashed_l3 += 1;
                 self.telemetry.emit(arrive, || SimEvent::CastoutSquashed {
                     l2: i as u32,
@@ -1335,8 +1414,11 @@ impl System {
                 self.note_redundant_clean_wb(arrive, txn.src, line);
             }
             SnoopResponse::L3Hit(_) | SnoopResponse::L3Accept => {
-                match self.l3_for(i).accept_castout(arrive, line, dirty) {
-                    Some((done, victim)) => {
+                match self.l3_for(i).accept_castout_timed(arrive, line, dirty) {
+                    Some((done, victim, l3_wait)) => {
+                        self.spans.mark(sid, SpanPhase::L3Queue, arrive + l3_wait);
+                        self.spans.mark(sid, SpanPhase::L3Service, done);
+                        self.spans.finish(sid, SpanOutcome::AcceptedL3, done);
                         self.stats.wb.accepted_l3 += 1;
                         self.telemetry.emit(arrive, || SimEvent::CastoutAccepted {
                             l2: i as u32,
@@ -1474,6 +1556,13 @@ impl System {
             if eligible {
                 txn = txn.with_snarf();
             }
+            self.spans.start(
+                txn.span_id(),
+                txn.span_kind(),
+                i as u32,
+                entry.line.raw(),
+                now,
+            );
             self.l2s[i].castouts_inflight.insert(entry.line);
             self.l2s[i].draining = true;
             self.queue.push(
@@ -1701,6 +1790,24 @@ impl System {
             .map(|t| t.completed_at.unwrap_or(t.next_time))
             .max()
             .unwrap_or(0);
+        self.stats.mshr_high_water = self
+            .l2s
+            .iter()
+            .map(|l2| l2.mshrs.high_water() as u64)
+            .max()
+            .unwrap_or(0)
+            .max(self.stats.mshr_high_water);
+        self.stats.wbq_high_water = self
+            .l2s
+            .iter()
+            .map(|l2| l2.wbq.high_water() as u64)
+            .max()
+            .unwrap_or(0)
+            .max(self.stats.wbq_high_water);
+        self.stats.event_queue_high_water = self
+            .stats
+            .event_queue_high_water
+            .max(self.queue.high_water() as u64);
         // Snarfed lines still resident and unused count as unused.
         let mut still_unused = 0;
         for l2 in &self.l2s {

@@ -44,6 +44,7 @@ pub mod metrics;
 mod queue;
 mod resource;
 mod rng;
+pub mod spans;
 pub mod stats;
 pub mod telemetry;
 

@@ -30,6 +30,7 @@ pub struct EventQueue<T> {
     heap: BinaryHeap<Reverse<Entry<T>>>,
     seq: u64,
     last_popped: Cycle,
+    high_water: usize,
 }
 
 #[derive(Debug)]
@@ -63,6 +64,7 @@ impl<T> EventQueue<T> {
             heap: BinaryHeap::new(),
             seq: 0,
             last_popped: 0,
+            high_water: 0,
         }
     }
 
@@ -72,6 +74,7 @@ impl<T> EventQueue<T> {
             heap: BinaryHeap::with_capacity(cap),
             seq: 0,
             last_popped: 0,
+            high_water: 0,
         }
     }
 
@@ -91,6 +94,7 @@ impl<T> EventQueue<T> {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Reverse(Entry { time, seq, payload }));
+        self.high_water = self.high_water.max(self.heap.len());
     }
 
     /// Removes and returns the earliest event, or `None` when empty.
@@ -120,6 +124,12 @@ impl<T> EventQueue<T> {
     /// This is the queue's notion of "now"; pushes earlier than this panic.
     pub fn now(&self) -> Cycle {
         self.last_popped
+    }
+
+    /// Peak number of pending events observed (occupancy gauge, sampled
+    /// on every push).
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 }
 
@@ -184,6 +194,20 @@ mod tests {
         q.push(10, ());
         q.pop();
         q.push(5, ());
+    }
+
+    #[test]
+    fn high_water_tracks_peak_occupancy() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.high_water(), 0);
+        q.push(1, ());
+        q.push(2, ());
+        q.push(3, ());
+        q.pop();
+        q.pop();
+        q.push(4, ());
+        assert_eq!(q.high_water(), 3);
+        assert_eq!(q.len(), 2);
     }
 
     #[test]

@@ -53,11 +53,24 @@ impl FifoServer {
     /// Reserves the server for a request with an explicit service time.
     /// Returns the completion time.
     pub fn reserve_for(&mut self, now: Cycle, service: Cycle) -> Cycle {
+        self.reserve_for_timed(now, service).1
+    }
+
+    /// Like [`FifoServer::reserve`], but also returns the queueing delay:
+    /// `(wait, completion)` where service began at `now + wait`. Used by
+    /// the span tracer to split latency into queue-wait vs. service.
+    pub fn reserve_timed(&mut self, now: Cycle) -> (Cycle, Cycle) {
+        self.reserve_for_timed(now, self.service)
+    }
+
+    /// Like [`FifoServer::reserve_for`], but also returns the queueing
+    /// delay as `(wait, completion)`.
+    pub fn reserve_for_timed(&mut self, now: Cycle, service: Cycle) -> (Cycle, Cycle) {
         let start = self.busy_until.max(now);
         self.busy_until = start + service;
         self.busy_cycles += service;
         self.served += 1;
-        self.busy_until
+        (start - now, self.busy_until)
     }
 
     /// The earliest time a new request arriving at `now` would complete,
@@ -131,6 +144,18 @@ impl Channel {
 
     /// Reserves a lane with an explicit occupancy. Returns completion time.
     pub fn reserve_for(&mut self, now: Cycle, occupancy: Cycle) -> Cycle {
+        self.reserve_for_timed(now, occupancy).1
+    }
+
+    /// Like [`Channel::reserve`], but also returns the queueing delay:
+    /// `(wait, completion)` where the transfer began at `now + wait`.
+    pub fn reserve_timed(&mut self, now: Cycle) -> (Cycle, Cycle) {
+        self.reserve_for_timed(now, self.occupancy)
+    }
+
+    /// Like [`Channel::reserve_for`], but also returns the queueing delay
+    /// as `(wait, completion)`.
+    pub fn reserve_for_timed(&mut self, now: Cycle, occupancy: Cycle) -> (Cycle, Cycle) {
         // Earliest-free lane; ties broken by index for determinism.
         let (idx, &free) = self
             .lanes
@@ -142,7 +167,7 @@ impl Channel {
         self.lanes[idx] = start + occupancy;
         self.busy_cycles += occupancy;
         self.served += 1;
-        self.lanes[idx]
+        (start - now, self.lanes[idx])
     }
 
     /// Number of lanes.
@@ -189,6 +214,7 @@ pub struct SlotPool {
     releases: BinaryHeap<Reverse<Cycle>>,
     acquired: u64,
     rejected: u64,
+    high_water: usize,
 }
 
 impl SlotPool {
@@ -204,6 +230,7 @@ impl SlotPool {
             releases: BinaryHeap::new(),
             acquired: 0,
             rejected: 0,
+            high_water: 0,
         }
     }
 
@@ -215,6 +242,7 @@ impl SlotPool {
         if self.releases.len() < self.capacity {
             self.releases.push(Reverse(release_at.max(now)));
             self.acquired += 1;
+            self.high_water = self.high_water.max(self.releases.len());
             true
         } else {
             self.rejected += 1;
@@ -241,6 +269,12 @@ impl SlotPool {
     /// Failed acquisitions so far.
     pub fn rejected(&self) -> u64 {
         self.rejected
+    }
+
+    /// Peak number of slots held at once (occupancy gauge, sampled on
+    /// every successful acquire).
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 
     fn expire(&mut self, now: Cycle) {
@@ -295,6 +329,35 @@ mod tests {
         c.reserve_for(0, 2); // lane1 -> 2
                              // Next transfer at t=3 should use lane1 (free at 2), not lane0.
         assert_eq!(c.reserve(3), 13);
+    }
+
+    #[test]
+    fn timed_variants_expose_queueing_delay() {
+        let mut s = FifoServer::new(5);
+        assert_eq!(s.reserve_timed(0), (0, 5)); // idle: no wait
+        assert_eq!(s.reserve_timed(2), (3, 10)); // queued behind the first
+        assert_eq!(s.reserve_for_timed(10, 3), (0, 13));
+        // The untimed path books identically: state continues seamlessly.
+        assert_eq!(s.reserve(13), 18);
+
+        let mut c = Channel::new(2, 4);
+        assert_eq!(c.reserve_timed(0), (0, 4));
+        assert_eq!(c.reserve_timed(0), (0, 4)); // second lane, still no wait
+        assert_eq!(c.reserve_timed(1), (3, 8)); // both lanes busy until 4
+        assert_eq!(c.reserve_for_timed(8, 2), (0, 10));
+    }
+
+    #[test]
+    fn slot_pool_high_water_tracks_peak() {
+        let mut p = SlotPool::new(3);
+        assert_eq!(p.high_water(), 0);
+        p.try_acquire(0, 10);
+        p.try_acquire(0, 10);
+        assert_eq!(p.high_water(), 2);
+        // Slots expire at 10; occupancy drops, peak stays.
+        p.try_acquire(20, 30);
+        assert_eq!(p.in_use(20), 1);
+        assert_eq!(p.high_water(), 2);
     }
 
     #[test]

@@ -907,6 +907,36 @@ mod tests {
     }
 
     #[test]
+    fn finish_closes_partial_final_window() {
+        // Run length (733) is not a multiple of the period (100): finish
+        // must close a short tail window [700, 733) whose deltas account
+        // for exactly the counts accrued since the last full boundary.
+        let mut s = IntervalSampler::new(100);
+        let mut cum = 0u64;
+        for t in (100..=700).step_by(100) {
+            cum += t / 50; // arbitrary monotone counter
+            assert!(s.due(t));
+            s.sample(t, &[("ops", cum)]);
+        }
+        s.finish(733, &[("ops", cum + 9)]);
+        let r = s.records();
+        assert_eq!(r.len(), 8);
+        let tail = r.last().unwrap();
+        assert_eq!((tail.start, tail.end), (700, 733));
+        assert!(tail.end - tail.start < s.period());
+        assert_eq!(tail.counters, vec![("ops", 9)]);
+        // Windows tile [0, 733) with no gaps and deltas sum to the total.
+        let mut expect = 0;
+        for rec in r {
+            assert_eq!(rec.start, expect);
+            expect = rec.end;
+        }
+        assert_eq!(expect, 733);
+        let sum: u64 = r.iter().map(|rec| rec.counters[0].1).sum();
+        assert_eq!(sum, cum + 9);
+    }
+
+    #[test]
     fn sampler_exact_boundary_end_emits_no_empty_tail() {
         let mut s = IntervalSampler::new(100);
         s.sample(100, &[("x", 4)]);

@@ -86,6 +86,10 @@ pub struct L3Stats {
     pub invalidations: u64,
     /// Dirty victims written back to memory on L3 eviction.
     pub dirty_victims_to_memory: u64,
+    /// Peak read-queue occupancy across slices (gauge).
+    pub read_queue_high_water: u64,
+    /// Peak incoming-data-queue occupancy across slices (gauge).
+    pub data_queue_high_water: u64,
 }
 
 /// The L3 victim cache: sliced tag+data arrays behind finite queues.
@@ -129,11 +133,12 @@ struct Slice {
 }
 
 impl Slice {
-    /// Reserves an array bank; returns when the access completes
-    /// (bank occupancy governs throughput, `latency_tail` the rest of
-    /// the access latency).
-    fn array_access(&mut self, now: Cycle, latency_tail: Cycle) -> Cycle {
-        self.array.reserve(now) + latency_tail
+    /// Reserves an array bank; returns `(bank_wait, completion)` (bank
+    /// occupancy governs throughput, `latency_tail` the rest of the
+    /// access latency; the wait component feeds latency attribution).
+    fn array_access_timed(&mut self, now: Cycle, latency_tail: Cycle) -> (Cycle, Cycle) {
+        let (wait, done) = self.array.reserve_timed(now);
+        (wait, done + latency_tail)
     }
 }
 
@@ -267,6 +272,24 @@ impl L3Cache {
         line: LineAddr,
         invalidate: bool,
     ) -> (Cycle, L3State) {
+        let (ready, st, _wait) = self.provide_read_timed(now, line, invalidate);
+        (ready, st)
+    }
+
+    /// Like [`L3Cache::provide_read`], but additionally returns the
+    /// array-bank queueing delay: `(ready, state, bank_wait)`, where the
+    /// array access itself started at `now + bank_wait`. The span tracer
+    /// uses the split to attribute L3-queue-wait vs. L3-service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not present (the snoop said it was).
+    pub fn provide_read_timed(
+        &mut self,
+        now: Cycle,
+        line: LineAddr,
+        invalidate: bool,
+    ) -> (Cycle, L3State, Cycle) {
         let local = self.cfg.geometry.slice_local(line);
         let tail = self
             .cfg
@@ -279,7 +302,7 @@ impl L3Cache {
             .probe(local)
             .unwrap_or_else(|| panic!("provide_read of absent line {line}"))
             .1;
-        let ready = slice.array_access(now, tail);
+        let (wait, ready) = slice.array_access_timed(now, tail);
         slice.reads.try_acquire(now, ready);
         if invalidate || exclusive {
             slice.tags.invalidate(local);
@@ -288,7 +311,7 @@ impl L3Cache {
             slice.tags.touch(local);
         }
         self.stats.reads_served += 1;
-        (ready, st)
+        (ready, st, wait)
     }
 
     /// Invalidates a line (RFO/upgrade by an L2 when the L3 is not the
@@ -312,6 +335,18 @@ impl L3Cache {
         line: LineAddr,
         dirty: bool,
     ) -> Option<(Cycle, Option<LineAddr>)> {
+        self.accept_castout_timed(now, line, dirty)
+            .map(|(done, victim, _wait)| (done, victim))
+    }
+
+    /// Like [`L3Cache::accept_castout`], but additionally returns the
+    /// array-bank queueing delay: `(done, victim, bank_wait)`.
+    pub fn accept_castout_timed(
+        &mut self,
+        now: Cycle,
+        line: LineAddr,
+        dirty: bool,
+    ) -> Option<(Cycle, Option<LineAddr>, Cycle)> {
         let slices_bits = self.cfg.geometry.slices().trailing_zeros();
         let slice_idx = self.cfg.geometry.slice_of(line);
         let local = self.cfg.geometry.slice_local(line);
@@ -326,7 +361,7 @@ impl L3Cache {
             .cfg
             .array_cycles
             .saturating_sub(self.cfg.array_occupancy);
-        let done = slice.array_access(now, tail);
+        let (wait, done) = slice.array_access_timed(now, tail);
         let new_state = if dirty {
             L3State::Dirty
         } else {
@@ -353,7 +388,7 @@ impl L3Cache {
             self.stats.dirty_victims_to_memory += 1;
         }
         self.stats.castouts_accepted += 1;
-        Some((done, victim))
+        Some((done, victim, wait))
     }
 
     /// Number of valid lines across all slices.
@@ -361,9 +396,17 @@ impl L3Cache {
         self.slices.iter().map(|s| s.tags.valid_lines()).sum()
     }
 
-    /// Statistics.
+    /// Statistics. Queue high-water gauges are read live from the
+    /// slices' slot pools at call time.
     pub fn stats(&self) -> L3Stats {
-        self.stats
+        let mut s = self.stats;
+        for slice in &self.slices {
+            s.read_queue_high_water = s.read_queue_high_water.max(slice.reads.high_water() as u64);
+            s.data_queue_high_water = s
+                .data_queue_high_water
+                .max(slice.data_in.high_water() as u64);
+        }
+        s
     }
 
     /// Load hit rate among read snoops.

@@ -73,11 +73,18 @@ impl MemoryController {
     }
 
     /// Reads a line; returns when the data leaves the controller.
-    pub fn read(&mut self, now: Cycle, _line: LineAddr) -> Cycle {
+    pub fn read(&mut self, now: Cycle, line: LineAddr) -> Cycle {
+        self.read_timed(now, line).1
+    }
+
+    /// Like [`MemoryController::read`], but also returns the bank
+    /// queueing delay: `(bank_wait, completion)`, where the access itself
+    /// started at `now + bank_wait`.
+    pub fn read_timed(&mut self, now: Cycle, _line: LineAddr) -> (Cycle, Cycle) {
         self.stats.reads += 1;
-        let bank_done = self.banks.reserve(now);
+        let (wait, bank_done) = self.banks.reserve_timed(now);
         let start = bank_done - self.cfg.bank_occupancy;
-        start + self.cfg.access_cycles
+        (wait, start + self.cfg.access_cycles)
     }
 
     /// Absorbs a dirty line write (posted; returns drain completion).

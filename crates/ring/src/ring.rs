@@ -120,8 +120,16 @@ impl Ring {
 
     /// Arbitrates for an address-ring slot at `now`. Returns the time the
     /// transaction is actually on the ring (visible for snooping).
-    pub fn issue_address(&mut self, now: Cycle, _src: AgentId) -> Cycle {
-        self.addr_arb.reserve(now)
+    pub fn issue_address(&mut self, now: Cycle, src: AgentId) -> Cycle {
+        self.issue_address_timed(now, src).1
+    }
+
+    /// Like [`Ring::issue_address`], but also returns the arbitration
+    /// queueing delay: `(wait, on_ring)` where the address beat began at
+    /// `now + wait`. The span tracer uses the split to attribute ring
+    /// arbitration separately from the beat itself.
+    pub fn issue_address_timed(&mut self, now: Cycle, _src: AgentId) -> (Cycle, Cycle) {
+        self.addr_arb.reserve_timed(now)
     }
 
     /// When agent `dst` snoops a transaction issued by `src` at `issued`.

@@ -16,4 +16,16 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
+echo "==> golden traces regenerate cleanly"
+UPDATE_GOLDEN=1 cargo test -q --test telemetry --test spans golden >/dev/null
+if ! git diff --exit-code -- tests/golden >/dev/null; then
+    git --no-pager diff --stat -- tests/golden
+    echo "verify: FAILED — golden traces drifted from committed files" >&2
+    echo "        (inspect with: git diff tests/golden; commit if intentional)" >&2
+    exit 1
+fi
+
 echo "verify: OK"

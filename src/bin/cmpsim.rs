@@ -3,13 +3,16 @@
 //! Runs one simulation and prints a report, optionally as CSV or JSON
 //! (both rendered from one shared metrics registry, so the two formats
 //! always agree). `--trace-events` streams typed simulator events to a
-//! JSONL file and `--interval-stats` samples counters periodically.
+//! JSONL file, `--interval-stats` samples counters periodically, and
+//! `--trace-spans` writes per-transaction phase timelines as a Chrome
+//! trace-event JSON file loadable in Perfetto.
 //!
 //! ```text
 //! cmpsim [--workload tp|cpw2|notesbench|trade2] [--policy baseline|wbht|snarf|combined]
 //!        [--entries N] [--outstanding 1..6] [--refs N] [--scale N] [--seed N]
 //!        [--trace FILE] [--granularity N] [--global-wbht] [--csv] [--json]
-//!        [--trace-events FILE] [--interval-stats N] [--quiet] [--verbose]
+//!        [--trace-events FILE] [--interval-stats N]
+//!        [--trace-spans FILE] [--span-sample N] [--quiet] [--verbose]
 //! ```
 
 use std::process::ExitCode;
@@ -17,6 +20,7 @@ use std::process::ExitCode;
 use cmp_hierarchies::adaptive::{
     PolicyConfig, RunReport, SnarfConfig, System, SystemConfig, UpdateScope, WbhtConfig,
 };
+use cmp_hierarchies::engine::spans::SpanTracer;
 use cmp_hierarchies::engine::telemetry::TelemetryConfig;
 use cmp_hierarchies::engine::Cycle;
 use cmp_hierarchies::trace::{file as trace_file, TracePlayback, Workload};
@@ -37,6 +41,8 @@ struct Args {
     json: bool,
     trace_events: Option<String>,
     interval_stats: Option<Cycle>,
+    trace_spans: Option<String>,
+    span_sample: u64,
     quiet: bool,
     verbose: bool,
 }
@@ -58,6 +64,8 @@ impl Default for Args {
             json: false,
             trace_events: None,
             interval_stats: None,
+            trace_spans: None,
+            span_sample: 1,
             quiet: false,
             verbose: false,
         }
@@ -95,6 +103,10 @@ fn parse_args() -> Result<Args, String> {
             "--trace-events" => args.trace_events = Some(value("--trace-events")?),
             "--interval-stats" => {
                 args.interval_stats = Some(parse_num(&value("--interval-stats")?)?.max(1));
+            }
+            "--trace-spans" => args.trace_spans = Some(value("--trace-spans")?),
+            "--span-sample" => {
+                args.span_sample = parse_num(&value("--span-sample")?)?.max(1);
             }
             "--quiet" | "-q" => args.quiet = true,
             "--verbose" | "-v" => args.verbose = true,
@@ -137,14 +149,19 @@ OPTIONS:
         --json             machine-readable JSON summary
         --trace-events F   stream typed simulator events to F as JSON lines
         --interval-stats N snapshot counters every N cycles (see --verbose)
+        --trace-spans F    write per-transaction phase spans to F as a
+                           Chrome trace-event JSON (open in Perfetto)
+        --span-sample N    trace every Nth transaction span only [1]
     -q, --quiet            suppress the human-readable report
     -v, --verbose          additionally print per-interval counter deltas
 
 OBSERVABILITY:
-    --trace-events and --interval-stats are zero-cost when off. The JSONL
-    trace can be summarized with the telemetry_report tool:
+    --trace-events, --interval-stats, and --trace-spans are zero-cost
+    when off. The JSONL event trace can be summarized with the
+    telemetry_report tool; span traces feed Perfetto and span_report:
         cmpsim -p combined --trace-events out.jsonl --interval-stats 100000
-        telemetry_report out.jsonl";
+        telemetry_report out.jsonl
+        cmpsim -p combined --trace-spans spans.json --span-sample 16";
 
 fn main() -> ExitCode {
     match real_main() {
@@ -228,10 +245,27 @@ fn real_main() -> Result<(), String> {
     if let Some(period) = args.interval_stats {
         sys.enable_interval_sampling(period);
     }
+    let span_tracer = if args.trace_spans.is_some() {
+        SpanTracer::sampled(args.span_sample)
+    } else {
+        SpanTracer::disabled()
+    };
+    if span_tracer.is_enabled() {
+        sys.set_span_tracer(span_tracer.clone());
+    }
 
     let stats = sys.run(args.refs);
     telemetry.flush();
 
+    if let Some(path) = &args.trace_spans {
+        let file = std::fs::File::create(path).map_err(|e| format!("--trace-spans {path}: {e}"))?;
+        let mut w = std::io::BufWriter::new(file);
+        span_tracer
+            .write_chrome_trace(&mut w)
+            .map_err(|e| format!("--trace-spans {path}: {e}"))?;
+    }
+
+    let tracing_spans = span_tracer.is_enabled();
     let report = RunReport {
         workload: args
             .trace
@@ -246,6 +280,12 @@ fn real_main() -> Result<(), String> {
         wbht: sys.wbht_stats(),
         snarf_table: sys.snarf_table_stats(),
         intervals: sys.interval_records().to_vec(),
+        spans: if tracing_spans {
+            span_tracer.finished_spans()
+        } else {
+            Vec::new()
+        },
+        span_summary: tracing_spans.then(|| span_tracer.summary()),
     };
     // One registry feeds every machine-readable format, so JSON and CSV
     // cannot drift apart (they once disagreed on which snarf counter the
