@@ -46,9 +46,9 @@ fn main() {
         cfg.seed = seed;
         let mut sys = System::new(cfg, params(seed)).unwrap();
         sys.run(1500);
-        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sys.check_invariants()));
-        if r.is_err() {
-            println!("VIOLATION at seed {seed}");
+        if let Err(v) = sys.check_invariants() {
+            println!("VIOLATION at seed {seed}: {v}");
+            println!("  line {:#x}, holders {:?}", v.line(), v.holders());
             return;
         }
     }

@@ -15,5 +15,5 @@ pub mod experiments;
 mod profile;
 mod table;
 
-pub use profile::{parallel_runs, Profile};
+pub use profile::{effective_jobs, jobs_from_args, parallel_runs, run_grid, set_jobs, Profile};
 pub use table::Table;

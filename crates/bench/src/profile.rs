@@ -41,10 +41,23 @@ impl Profile {
         }
     }
 
+    /// A seconds-long smoke profile for CI: tiny hierarchy, short
+    /// streams. The numbers are not meaningful — only their
+    /// reproducibility is (the serial-vs-parallel CI gate diffs two
+    /// smoke runs).
+    pub fn smoke() -> Self {
+        Profile {
+            scale_factor: 16,
+            refs_per_thread: 500,
+            seeds: 1,
+        }
+    }
+
     /// Reads `CMPSIM_PROFILE` (default: quick) and `CMPSIM_SEEDS`.
     pub fn from_env() -> Self {
         let mut p = match std::env::var("CMPSIM_PROFILE").as_deref() {
             Ok("full") => Self::full(),
+            Ok("smoke") => Self::smoke(),
             _ => Self::quick(),
         };
         if let Ok(s) = std::env::var("CMPSIM_SEEDS") {
@@ -86,40 +99,125 @@ impl Profile {
     }
 }
 
-/// Runs several simulations in parallel (one OS thread each),
-/// preserving input order in the results.
+/// Runs a grid of simulations through at most `jobs` worker threads,
+/// returning reports in input order.
 ///
-/// Simulations are deterministic and independent; parallelism only
-/// shortens wall-clock time.
+/// Simulations are deterministic and independent, so the schedule only
+/// affects wall-clock time: `run_grid(specs, 1)` and
+/// `run_grid(specs, 32)` produce identical reports. Workers pull the
+/// next unstarted spec from a shared cursor (no chunk barriers), so a
+/// slow run never serializes the runs behind it.
+///
+/// # Panics
+///
+/// Panics if any simulation fails to build (invalid config/workload) —
+/// experiment specs are constructed from validated profiles.
+pub fn run_grid(specs: Vec<RunSpec>, jobs: usize) -> Vec<RunReport> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let n = specs.len();
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs == 1 {
+        return specs
+            .into_iter()
+            .map(|s| cmp_adaptive_wb::run(s).expect("valid spec"))
+            .collect();
+    }
+    let slots: Vec<Mutex<Option<RunSpec>>> =
+        specs.into_iter().map(|s| Mutex::new(Some(s))).collect();
+    let out: Vec<Mutex<Option<RunReport>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let spec = slots[i]
+                    .lock()
+                    .expect("spec slot poisoned")
+                    .take()
+                    .expect("each slot claimed once");
+                let report = cmp_adaptive_wb::run(spec).expect("valid spec");
+                *out[i].lock().expect("report slot poisoned") = Some(report);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("report slot poisoned")
+                .expect("all runs joined")
+        })
+        .collect()
+}
+
+/// Process-wide worker-count override set by `--jobs`; 0 means auto.
+static JOBS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Overrides the worker count used by [`parallel_runs`] (0 restores
+/// auto-detection).
+pub fn set_jobs(jobs: usize) {
+    JOBS.store(jobs, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The worker count [`parallel_runs`] will use: the `--jobs` override
+/// if set, else the `CMPSIM_JOBS` environment variable, else the
+/// machine's available parallelism.
+pub fn effective_jobs() -> usize {
+    let j = JOBS.load(std::sync::atomic::Ordering::Relaxed);
+    if j > 0 {
+        return j;
+    }
+    if let Ok(v) = std::env::var("CMPSIM_JOBS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+}
+
+/// Parses `--jobs N` (or `--jobs=N`) from the process arguments and
+/// registers it as the worker-count override. Experiment binaries call
+/// this once at startup; unknown arguments are left for the caller.
+pub fn jobs_from_args() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let n = if a == "--jobs" {
+            it.next().and_then(|v| v.parse::<usize>().ok())
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            v.parse::<usize>().ok()
+        } else {
+            continue;
+        };
+        match n {
+            Some(n) if n > 0 => set_jobs(n),
+            _ => {
+                eprintln!("--jobs expects a positive integer");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+}
+
+/// Runs several simulations in parallel, preserving input order in the
+/// results. The worker count comes from [`effective_jobs`] (`--jobs` /
+/// `CMPSIM_JOBS` / auto); results are identical at any setting.
 ///
 /// # Panics
 ///
 /// Panics if any simulation fails to build (invalid config/workload) —
 /// experiment specs are constructed from validated profiles.
 pub fn parallel_runs(specs: Vec<RunSpec>) -> Vec<RunReport> {
-    let n = specs.len();
-    let mut out: Vec<Option<RunReport>> = (0..n).map(|_| None).collect();
-    // Bound concurrency to the machine.
-    let max_par = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4);
-    let specs: Vec<(usize, RunSpec)> = specs.into_iter().enumerate().collect();
-    for chunk in specs.chunks(max_par) {
-        let handles: Vec<_> = chunk
-            .iter()
-            .cloned()
-            .map(|(idx, spec)| {
-                std::thread::spawn(move || (idx, cmp_adaptive_wb::run(spec).expect("valid spec")))
-            })
-            .collect();
-        for h in handles {
-            let (idx, report) = h.join().expect("simulation thread panicked");
-            out[idx] = Some(report);
-        }
-    }
-    out.into_iter()
-        .map(|r| r.expect("all runs joined"))
-        .collect()
+    run_grid(specs, effective_jobs())
 }
 
 #[cfg(test)]

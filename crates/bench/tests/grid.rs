@@ -1,0 +1,57 @@
+//! The parallel grid driver must be a pure wall-clock optimization:
+//! any worker count yields the same reports in the same order as a
+//! serial loop.
+
+use cmp_adaptive_wb::run;
+use cmpsim_bench::{run_grid, Profile};
+use cmpsim_trace::Workload;
+
+fn grid_specs(p: &Profile) -> Vec<cmp_adaptive_wb::RunSpec> {
+    let mut specs = Vec::new();
+    for (i, &wl) in [Workload::Cpw2, Workload::Trade2, Workload::Tp]
+        .iter()
+        .enumerate()
+    {
+        for pressure in [1u32, 6] {
+            let mut cfg = p.config();
+            cfg.max_outstanding = pressure;
+            cfg.seed = cfg.seed.wrapping_add(i as u64);
+            specs.push(p.spec(cfg, wl));
+        }
+    }
+    specs
+}
+
+#[test]
+fn parallel_grid_matches_serial_loop_in_order() {
+    let p = Profile {
+        scale_factor: 16,
+        refs_per_thread: 600,
+        seeds: 1,
+    };
+    let serial: Vec<String> = grid_specs(&p)
+        .into_iter()
+        .map(|s| run(s).expect("valid spec").to_json())
+        .collect();
+    let parallel: Vec<String> = run_grid(grid_specs(&p), 4)
+        .into_iter()
+        .map(|r| r.to_json())
+        .collect();
+    assert_eq!(serial, parallel);
+    // Degenerate worker counts behave too.
+    let one: Vec<String> = run_grid(grid_specs(&p), 1)
+        .into_iter()
+        .map(|r| r.to_json())
+        .collect();
+    let many: Vec<String> = run_grid(grid_specs(&p), 64)
+        .into_iter()
+        .map(|r| r.to_json())
+        .collect();
+    assert_eq!(serial, one);
+    assert_eq!(serial, many);
+}
+
+#[test]
+fn empty_grid_is_fine() {
+    assert!(run_grid(Vec::new(), 8).is_empty());
+}

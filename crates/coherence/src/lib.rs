@@ -36,4 +36,4 @@ mod txn;
 pub use collector::{CombinedResponse, DataSource, SnoopCollector, WbOutcome};
 pub use ids::{AgentId, L2Id, TxnId};
 pub use state::{L2State, L3State};
-pub use txn::{BusTxn, SnoopResponse, TxnKind};
+pub use txn::{BusTxn, SnoopResponse, TxnKind, TxnPath, TxnState};

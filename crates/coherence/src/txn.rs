@@ -115,6 +115,69 @@ impl fmt::Display for BusTxn {
     }
 }
 
+/// Which protocol path a transaction travels: the demand-miss path
+/// (read/RWITM/upgrade through the snoop window to a fill) or the
+/// write-back path (castout through WBHT filtering, squash/snarf
+/// arbitration, or L3 acceptance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnPath {
+    /// Demand miss or upgrade from an L2.
+    Miss,
+    /// Castout of an evicted victim.
+    Castout {
+        /// Whether the victim carries dirty data (dirty castouts must be
+        /// absorbed somewhere; clean ones are performance hints).
+        dirty: bool,
+    },
+}
+
+/// Per-transaction pipeline state, threaded explicitly between the
+/// protocol phases (bus issue → snoop collection → completion) instead
+/// of living in ad-hoc event payloads. The same `TxnState` is re-issued
+/// on retries with only `attempt` bumped, so span identity and the
+/// retry back-off jitter stay stable across attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnState {
+    /// The address-ring transaction as every agent snoops it.
+    pub txn: BusTxn,
+    /// Which protocol path the transaction is on.
+    pub path: TxnPath,
+    /// Bus attempts so far (0 on first issue; each retry increments).
+    pub attempt: u32,
+}
+
+impl TxnState {
+    /// A first-attempt transaction on the demand-miss path.
+    pub fn miss(txn: BusTxn) -> Self {
+        TxnState {
+            txn,
+            path: TxnPath::Miss,
+            attempt: 0,
+        }
+    }
+
+    /// A first-attempt transaction on the write-back path.
+    pub fn castout(txn: BusTxn, dirty: bool) -> Self {
+        TxnState {
+            txn,
+            path: TxnPath::Castout { dirty },
+            attempt: 0,
+        }
+    }
+
+    /// The state to re-issue after a retry-class combined response:
+    /// the same transaction, one more attempt.
+    pub fn retried(mut self) -> Self {
+        self.attempt += 1;
+        self
+    }
+
+    /// Is this the first bus attempt?
+    pub fn first_attempt(&self) -> bool {
+        self.attempt == 0
+    }
+}
+
 /// One agent's snoop reply to a [`BusTxn`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SnoopResponse {
@@ -195,6 +258,26 @@ mod tests {
         assert!(SnoopResponse::L2Retry(L2Id::new(0)).is_retry());
         assert!(!SnoopResponse::Null.is_retry());
         assert!(!SnoopResponse::L3Hit(L3State::Clean).is_retry());
+    }
+
+    #[test]
+    fn txn_state_paths_and_retries() {
+        let t = BusTxn::new(
+            TxnId::ZERO,
+            TxnKind::ReadShared,
+            LineAddr::new(4),
+            L2Id::new(1),
+        );
+        let m = TxnState::miss(t);
+        assert_eq!(m.path, TxnPath::Miss);
+        assert!(m.first_attempt());
+        let c = TxnState::castout(t, true);
+        assert_eq!(c.path, TxnPath::Castout { dirty: true });
+        let r = c.retried().retried();
+        assert_eq!(r.attempt, 2);
+        assert!(!r.first_attempt());
+        // The transaction itself (and so span identity) is unchanged.
+        assert_eq!(r.txn, c.txn);
     }
 
     #[test]

@@ -42,4 +42,4 @@ pub mod system;
 pub use config::{L1Config, L3Organization, SystemConfig};
 pub use policy::{PolicyConfig, RetrySwitchConfig, SnarfConfig, UpdateScope, WbhtConfig};
 pub use runner::{run, RunReport, RunSpec};
-pub use system::{System, SystemError, SystemStats};
+pub use system::{InvariantViolation, System, SystemError, SystemStats};

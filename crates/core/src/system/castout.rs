@@ -1,0 +1,451 @@
+//! Write-back layer: L2 eviction into the snoopable write-back queue,
+//! WBHT filtering at drain time, castout bus issue (ring or private L3
+//! bus), squash/snarf/accept outcome handling, and redundant-clean-WB
+//! accounting.
+
+use cmpsim_cache::LineAddr;
+use cmpsim_coherence::{
+    AgentId, BusTxn, CombinedResponse, L2Id, L2State, SnoopResponse, TxnKind, TxnPath, TxnState,
+    WbOutcome,
+};
+use cmpsim_engine::spans::{SpanOutcome, SpanPhase};
+use cmpsim_engine::telemetry::{SimEvent, SquashReason};
+use cmpsim_engine::Cycle;
+
+use crate::config::L3Organization;
+use crate::policy::{PolicyConfig, UpdateScope};
+use crate::system::system::Ev;
+use crate::system::System;
+
+impl System {
+    pub(super) fn bus_issue_castout(&mut self, now: Cycle, state: TxnState, dirty: bool) {
+        let TxnState { txn, attempt, .. } = state;
+        let i = txn.src.index();
+        let line = txn.line;
+        let sid = txn.span_id();
+        // The entry may have been claimed (RFO) or recovered since the
+        // drain picked it.
+        if !self.l2s[i].castouts_inflight.contains(&line) || !self.l2s[i].wbq.contains(line) {
+            self.spans.finish(sid, SpanOutcome::ResolvedLocal, now);
+            self.l2s[i].castouts_inflight.remove(&line);
+            self.queue.push(now, Ev::WbDrain(txn.src));
+            return;
+        }
+        // First attempt: the segment since span start is the drain-to-bus
+        // issue gap. Retries: back-off queueing.
+        if attempt == 0 {
+            self.spans.mark(sid, SpanPhase::Issue, now);
+        } else {
+            self.spans.mark(sid, SpanPhase::RetryBackoff, now);
+        }
+        if self.cfg.l3_organization == L3Organization::PrivatePerL2 {
+            self.private_castout(now, txn, dirty, attempt);
+            return;
+        }
+
+        if attempt == 0 {
+            if dirty {
+                self.stats.wb.dirty_requests += 1;
+            } else {
+                self.stats.wb.clean_requests += 1;
+            }
+            self.stats.wb_reuse.total += 1;
+            self.wb_pending.insert(line.raw(), false);
+            if let Some(t) = &mut self.snarf_table {
+                t.observe_writeback(line);
+            }
+            let snarf_eligible = txn.snarf_eligible;
+            self.telemetry.emit(now, || SimEvent::CastoutIssued {
+                l2: i as u32,
+                line: line.raw(),
+                dirty,
+                snarf_eligible,
+            });
+        } else {
+            self.stats.wb.retried_attempts += 1;
+        }
+
+        let src_agent = AgentId::L2(txn.src);
+        let (arb_wait, t_ring) = self.ring.issue_address_timed(now, src_agent);
+        self.spans.mark(sid, SpanPhase::RingArb, now + arb_wait);
+        self.spans.mark(sid, SpanPhase::RingTransit, t_ring);
+
+        // Snoop phase (squash/snarf responses: see the snoop layer).
+        let (responses, t_collect) = self.collect_castout_snoops(&txn, dirty, t_ring);
+
+        let combined = self.collector.combine(&txn, &responses);
+        let t_seen = self.ring.combined_arrival(t_collect, src_agent);
+        self.spans.mark(sid, SpanPhase::SnoopWindow, t_seen);
+
+        let outcome = match combined {
+            CombinedResponse::Retry { l3_issued } => {
+                self.record_retry(t_seen, l3_issued);
+                self.queue.push(
+                    t_seen + self.retry_delay(&txn, attempt),
+                    Ev::BusIssue(TxnState {
+                        txn,
+                        path: TxnPath::Castout { dirty },
+                        attempt: attempt + 1,
+                    }),
+                );
+                return;
+            }
+            CombinedResponse::Wb(o) => o,
+            other => unreachable!("read response {other:?} to a castout"),
+        };
+
+        self.trace(line, &|| {
+            format!("castout {} from {} outcome {outcome:?}", txn.kind, txn.src)
+        });
+        if txn.snarf_eligible {
+            let winner = match outcome {
+                WbOutcome::SnarfedBy(p) => Some(p.index() as u32),
+                _ => None,
+            };
+            if let Some(t) = &self.snarf_table {
+                t.record_arbitration(t_seen, i as u32, line, winner);
+            }
+        }
+        match outcome {
+            WbOutcome::SquashedAlreadyInL3 => {
+                self.spans.finish(sid, SpanOutcome::Squashed, t_seen);
+                self.stats.wb.clean_squashed_l3 += 1;
+                self.telemetry.emit(t_seen, || SimEvent::CastoutSquashed {
+                    l2: i as u32,
+                    line: line.raw(),
+                    reason: SquashReason::AlreadyInL3,
+                });
+                self.note_redundant_clean_wb(t_seen, txn.src, line);
+            }
+            WbOutcome::SquashedPeerHasCopy(p) => {
+                self.spans.finish(sid, SpanOutcome::Squashed, t_seen);
+                self.stats.wb.squashed_peer += 1;
+                self.telemetry.emit(t_seen, || SimEvent::CastoutSquashed {
+                    l2: i as u32,
+                    line: line.raw(),
+                    reason: SquashReason::PeerHasCopy,
+                });
+                if dirty {
+                    // Ownership transfer: the peer's clean copy becomes
+                    // the dirty owner without a data transfer.
+                    let pj = p.index();
+                    if let Some(cur) = self.l2s[pj].state_of(line) {
+                        if !cur.is_dirty() {
+                            self.l2s[pj].set_state(line, L2State::Tagged);
+                        }
+                    }
+                }
+            }
+            WbOutcome::SnarfedBy(p) => {
+                self.stats.wb.snarfed += 1;
+                self.telemetry.emit(t_seen, || SimEvent::CastoutSnarfed {
+                    l2: i as u32,
+                    by: p.index() as u32,
+                    line: line.raw(),
+                });
+                self.inbound_snarfs.insert((p.index() as u8, line.raw()));
+                let arrival = self.ring.transfer_data(t_seen, src_agent, AgentId::L2(p));
+                self.spans.mark(sid, SpanPhase::DataReturn, arrival);
+                self.spans.finish(sid, SpanOutcome::Snarfed, arrival);
+                self.queue
+                    .push(arrival, Ev::SnarfFill { l2: p, line, dirty });
+            }
+            WbOutcome::AcceptedByL3 { .. } => {
+                let t_arr = self.l3_link.reserve_for(t_seen, self.cfg.l3_link_occupancy)
+                    + self.cfg.l3_link_delay;
+                self.spans.mark(sid, SpanPhase::DataReturn, t_arr);
+                match self.l3.accept_castout_timed(t_arr, line, dirty) {
+                    Some((done, victim, l3_wait)) => {
+                        self.spans.mark(sid, SpanPhase::L3Queue, t_arr + l3_wait);
+                        self.spans.mark(sid, SpanPhase::L3Service, done);
+                        self.spans.finish(sid, SpanOutcome::AcceptedL3, done);
+                        self.stats.wb.accepted_l3 += 1;
+                        self.telemetry.emit(t_arr, || SimEvent::CastoutAccepted {
+                            l2: i as u32,
+                            line: line.raw(),
+                        });
+                        if let Some(acc) = self.wb_pending.get_mut(&line.raw()) {
+                            *acc = true;
+                        }
+                        self.stats.wb_reuse.accepted += 1;
+                        if let Some(v) = victim {
+                            self.mem.write(done, v);
+                        }
+                    }
+                    None => {
+                        // Queue filled between snoop and data arrival.
+                        self.record_retry(t_arr, true);
+                        self.queue.push(
+                            t_arr + self.retry_delay(&txn, attempt),
+                            Ev::BusIssue(TxnState {
+                                txn,
+                                path: TxnPath::Castout { dirty },
+                                attempt: attempt + 1,
+                            }),
+                        );
+                        return;
+                    }
+                }
+            }
+        }
+
+        // Resolution: retire the entry and continue draining.
+        self.l2s[i].wbq.remove(line);
+        self.l2s[i].castouts_inflight.remove(&line);
+        self.queue.push(t_seen + 1, Ev::WbDrain(txn.src));
+    }
+
+    /// Castout over a dedicated private-L3 bus (§7 organization): no
+    /// ring address phase, no peer snoops, no Snoop Collector — and
+    /// therefore no snarfing. The WBHT still learns from the private
+    /// bus's squash responses.
+    fn private_castout(&mut self, now: Cycle, txn: BusTxn, dirty: bool, attempt: u32) {
+        let i = txn.src.index();
+        let line = txn.line;
+        let sid = txn.span_id();
+        if attempt == 0 {
+            if dirty {
+                self.stats.wb.dirty_requests += 1;
+            } else {
+                self.stats.wb.clean_requests += 1;
+            }
+            self.stats.wb_reuse.total += 1;
+            self.wb_pending.insert(line.raw(), false);
+            self.telemetry.emit(now, || SimEvent::CastoutIssued {
+                l2: i as u32,
+                line: line.raw(),
+                dirty,
+                snarf_eligible: false,
+            });
+        } else {
+            self.stats.wb.retried_attempts += 1;
+        }
+        let occ = self.cfg.l3_link_occupancy;
+        let delay = self.cfg.l3_link_delay;
+        let arrive = self.private_l3_links[i].reserve_for(now, occ) + delay;
+        self.spans.mark(sid, SpanPhase::DataReturn, arrive);
+        let resp = self.l3_for(i).snoop_castout(arrive, line, dirty);
+        self.trace(line, &|| {
+            format!("private castout from {} -> {resp:?}", txn.src)
+        });
+        match resp {
+            SnoopResponse::L3Hit(_) if !dirty => {
+                self.spans.finish(sid, SpanOutcome::Squashed, arrive);
+                self.stats.wb.clean_squashed_l3 += 1;
+                self.telemetry.emit(arrive, || SimEvent::CastoutSquashed {
+                    l2: i as u32,
+                    line: line.raw(),
+                    reason: SquashReason::AlreadyInL3,
+                });
+                self.note_redundant_clean_wb(arrive, txn.src, line);
+            }
+            SnoopResponse::L3Hit(_) | SnoopResponse::L3Accept => {
+                match self.l3_for(i).accept_castout_timed(arrive, line, dirty) {
+                    Some((done, victim, l3_wait)) => {
+                        self.spans.mark(sid, SpanPhase::L3Queue, arrive + l3_wait);
+                        self.spans.mark(sid, SpanPhase::L3Service, done);
+                        self.spans.finish(sid, SpanOutcome::AcceptedL3, done);
+                        self.stats.wb.accepted_l3 += 1;
+                        self.telemetry.emit(arrive, || SimEvent::CastoutAccepted {
+                            l2: i as u32,
+                            line: line.raw(),
+                        });
+                        if let Some(acc) = self.wb_pending.get_mut(&line.raw()) {
+                            *acc = true;
+                        }
+                        self.stats.wb_reuse.accepted += 1;
+                        if let Some(v) = victim {
+                            self.mem.write(done, v);
+                        }
+                    }
+                    None => {
+                        self.record_retry(arrive, true);
+                        self.queue.push(
+                            arrive + self.retry_delay(&txn, attempt),
+                            Ev::BusIssue(TxnState {
+                                txn,
+                                path: TxnPath::Castout { dirty },
+                                attempt: attempt + 1,
+                            }),
+                        );
+                        return;
+                    }
+                }
+            }
+            SnoopResponse::L3Retry => {
+                self.record_retry(arrive, true);
+                self.queue.push(
+                    arrive + self.retry_delay(&txn, attempt),
+                    Ev::BusIssue(TxnState {
+                        txn,
+                        path: TxnPath::Castout { dirty },
+                        attempt: attempt + 1,
+                    }),
+                );
+                return;
+            }
+            other => unreachable!("private L3 castout response {other:?}"),
+        }
+        self.l2s[i].wbq.remove(line);
+        self.l2s[i].castouts_inflight.remove(&line);
+        self.queue.push(arrive + 1, Ev::WbDrain(txn.src));
+    }
+
+    /// WBHT allocation on an L3-squashed clean write-back (§2 step 3),
+    /// honouring the update scope (§2.2 / Figure 3).
+    pub(super) fn note_redundant_clean_wb(&mut self, now: Cycle, src: L2Id, line: LineAddr) {
+        let scope = match &self.cfg.policy {
+            PolicyConfig::Wbht(w) => Some(w.scope),
+            PolicyConfig::Combined(w, _) => Some(w.scope),
+            _ => None,
+        };
+        match scope {
+            None => {}
+            Some(UpdateScope::Local) => {
+                if let Some(w) = &mut self.l2s[src.index()].wbht {
+                    w.note_redundant(now, line);
+                }
+            }
+            Some(UpdateScope::Global) => {
+                for l2 in &mut self.l2s {
+                    if let Some(w) = &mut l2.wbht {
+                        w.note_redundant(now, line);
+                    }
+                }
+            }
+        }
+    }
+
+    pub(super) fn handle_wb_drain(&mut self, now: Cycle, l2id: L2Id) {
+        let i = l2id.index();
+        loop {
+            if self.l2s[i].castouts_inflight.len() >= self.cfg.castout_inflight_max {
+                return;
+            }
+            // Oldest entry not already on the bus.
+            let next = {
+                let inflight = &self.l2s[i].castouts_inflight;
+                let mut found = None;
+                for k in 0.. {
+                    // Scan queue order via front-relative probing.
+                    let Some(e) = self.l2s[i].wbq.nth(k) else {
+                        break;
+                    };
+                    if !inflight.contains(&e.line) {
+                        found = Some(*e);
+                        break;
+                    }
+                }
+                found
+            };
+            let Some(entry) = next else {
+                self.l2s[i].draining = !self.l2s[i].castouts_inflight.is_empty();
+                return;
+            };
+            // WBHT filtering: consulted off the miss path, after the
+            // victim entered the queue (§2).
+            if !entry.dirty && self.cfg.policy.has_wbht() {
+                let engaged = self.retry_switch.engaged(now);
+                let in_l3 = match self.cfg.l3_organization {
+                    L3Organization::SharedVictim => self.l3.peek(entry.line),
+                    L3Organization::PrivatePerL2 => self.private_l3s[i].peek(entry.line),
+                };
+                let abort = self.l2s[i]
+                    .wbht
+                    .as_mut()
+                    .expect("wbht policy implies table")
+                    .should_abort(now, entry.line, engaged, in_l3);
+                if abort {
+                    self.l2s[i].wbq.remove(entry.line);
+                    self.stats.wb.clean_aborted += 1;
+                    self.telemetry.emit(now, || SimEvent::CastoutAborted {
+                        l2: i as u32,
+                        line: entry.line.raw(),
+                    });
+                    continue;
+                }
+            }
+            let eligible = match &mut self.snarf_table {
+                Some(t) => t.check_eligible(entry.line),
+                None => false,
+            };
+            let mut txn = BusTxn::new(
+                self.txn_seq.bump(),
+                if entry.dirty {
+                    TxnKind::CastoutDirty
+                } else {
+                    TxnKind::CastoutClean
+                },
+                entry.line,
+                l2id,
+            );
+            if eligible {
+                txn = txn.with_snarf();
+            }
+            self.spans.start(
+                txn.span_id(),
+                txn.span_kind(),
+                i as u32,
+                entry.line.raw(),
+                now,
+            );
+            self.l2s[i].castouts_inflight.insert(entry.line);
+            self.l2s[i].draining = true;
+            self.queue
+                .push(now + 1, Ev::BusIssue(TxnState::castout(txn, entry.dirty)));
+            // Loop: issue more if the concurrency limit allows.
+        }
+    }
+
+    pub(super) fn on_l2_eviction(&mut self, now: Cycle, i: usize, vline: LineAddr, vst: L2State) {
+        self.trace(vline, &|| format!("evict L2#{i} state={vst} -> wbq"));
+        self.invalidate_l1s_of(i, vline);
+        self.finalize_snarf_flags(i, vline);
+        let pushed = self.l2s[i].wbq.push(cmpsim_cache::WbEntry {
+            line: vline,
+            dirty: vst.is_dirty(),
+        });
+        debug_assert!(pushed, "wbq overflow despite fill gating");
+        if self.l2s[i].castouts_inflight.len() < self.cfg.castout_inflight_max {
+            self.queue.push(
+                now.max(self.queue.now()) + 1,
+                Ev::WbDrain(L2Id::new(i as u8)),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use cmpsim_cache::LineAddr;
+    use cmpsim_coherence::L2Id;
+
+    use crate::policy::{PolicyConfig, UpdateScope, WbhtConfig};
+    use crate::system::testutil::system;
+
+    #[test]
+    fn global_scope_notes_redundant_in_every_table() {
+        let mut sys = system(PolicyConfig::Wbht(WbhtConfig {
+            entries: 256,
+            assoc: 16,
+            scope: UpdateScope::Global,
+            granularity: 1,
+        }));
+        let line = LineAddr::new(16);
+        sys.note_redundant_clean_wb(0, L2Id::new(0), line);
+        for l2 in &sys.l2s {
+            assert!(l2.wbht.as_ref().unwrap().knows(line));
+        }
+        // Local scope: only the writer's table.
+        let mut sys = system(PolicyConfig::Wbht(WbhtConfig {
+            entries: 256,
+            assoc: 16,
+            scope: UpdateScope::Local,
+            granularity: 1,
+        }));
+        sys.note_redundant_clean_wb(0, L2Id::new(2), line);
+        for (i, l2) in sys.l2s.iter().enumerate() {
+            assert_eq!(l2.wbht.as_ref().unwrap().knows(line), i == 2);
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Observation layer: telemetry and span-tracer wiring, interval
+//! sampling, statistics accessors for tests/tools, and end-of-run
+//! statistics finalization.
+
+use cmpsim_cache::LineAddr;
+use cmpsim_coherence::L2State;
+use cmpsim_engine::spans::SpanTracer;
+use cmpsim_engine::telemetry::{IntervalRecord, IntervalSampler, SimEvent, Telemetry};
+use cmpsim_engine::Cycle;
+use cmpsim_mem::{L3Cache, MemoryController};
+
+use crate::config::L3Organization;
+use crate::policy::{RetrySwitch, RetrySwitchConfig};
+use crate::system::stats::SystemStats;
+use crate::system::System;
+
+impl System {
+    /// Replaces the adaptive retry-rate switch (§6) configuration.
+    pub fn set_retry_switch(&mut self, cfg: RetrySwitchConfig) {
+        self.retry_switch = RetrySwitch::new(cfg);
+        self.retry_switch.attach_telemetry(self.telemetry.clone());
+    }
+
+    /// Attaches an event-trace handle and propagates clones of it to
+    /// every instrumented component (L2s and their WBHTs, the retry
+    /// switch, the snarf table, and the L3s).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        for l2 in &mut self.l2s {
+            l2.attach_telemetry(telemetry.clone());
+        }
+        self.retry_switch.attach_telemetry(telemetry.clone());
+        if let Some(t) = &mut self.snarf_table {
+            t.attach_telemetry(telemetry.clone());
+        }
+        self.l3.attach_telemetry(telemetry.clone());
+        for l3 in &mut self.private_l3s {
+            l3.attach_telemetry(telemetry.clone());
+        }
+        self.telemetry = telemetry;
+    }
+
+    /// Attaches a transaction span tracer. Every subsequent L2
+    /// miss/upgrade/castout transaction gets a cycle-stamped phase
+    /// timeline (subject to the tracer's sampling rate). Pass a clone and
+    /// keep the original: clones share one record book, so the caller can
+    /// read the finished spans after [`run`](Self::run).
+    pub fn set_span_tracer(&mut self, spans: SpanTracer) {
+        self.spans = spans;
+    }
+
+    /// The attached span tracer (disabled unless
+    /// [`set_span_tracer`](Self::set_span_tracer) was called).
+    pub fn span_tracer(&self) -> &SpanTracer {
+        &self.spans
+    }
+
+    /// Enables interval sampling: key counters are snapshotted every
+    /// `period` cycles into [`interval_records`](Self::interval_records)
+    /// (and, when tracing is on, emitted as [`SimEvent::Interval`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is 0.
+    pub fn enable_interval_sampling(&mut self, period: Cycle) {
+        self.sampler = Some(IntervalSampler::new(period));
+    }
+
+    /// The interval time series recorded so far (empty when sampling is
+    /// disabled).
+    pub fn interval_records(&self) -> &[IntervalRecord] {
+        self.sampler.as_ref().map_or(&[], |s| s.records())
+    }
+
+    /// Closes passed sampler window(s) at `now` (`finish` also closes
+    /// the trailing partial window) and mirrors each new record into the
+    /// event trace.
+    pub(super) fn close_intervals(&mut self, now: Cycle, finish: bool) {
+        let snapshot = self.counter_snapshot();
+        let Some(sampler) = &mut self.sampler else {
+            return;
+        };
+        let already = sampler.records().len();
+        if finish {
+            sampler.finish(now, &snapshot);
+        } else {
+            sampler.sample(now, &snapshot);
+        }
+        for rec in &sampler.records()[already..] {
+            self.telemetry.emit(rec.end, || SimEvent::Interval {
+                start: rec.start,
+                end: rec.end,
+                counters: rec.counters.clone(),
+            });
+        }
+    }
+
+    /// The cumulative counters the interval sampler tracks.
+    fn counter_snapshot(&self) -> Vec<(&'static str, u64)> {
+        let s = &self.stats;
+        vec![
+            ("refs", s.refs),
+            ("l2_misses", s.l2.iter().map(|l| l.misses).sum()),
+            ("fills_from_l2", s.fills_from_l2),
+            ("fills_from_l3", s.fills_from_l3),
+            ("fills_from_memory", s.fills_from_memory),
+            ("wb_dirty", s.wb.dirty_requests),
+            ("wb_clean", s.wb.clean_requests),
+            ("wb_clean_aborted", s.wb.clean_aborted),
+            ("wb_squashed_l3", s.wb.clean_squashed_l3),
+            ("wb_snarfed", s.wb.snarfed),
+            ("retries_total", s.retries_total),
+            ("retries_l3", s.retries_l3),
+            ("upgrades", s.upgrades),
+        ]
+    }
+
+    /// Statistics accumulated so far (valid after [`run`](Self::run)).
+    pub fn stats(&self) -> &SystemStats {
+        &self.stats
+    }
+
+    /// The L3 model (for oracle peeks and statistics). In the private
+    /// organization this is the (unused) shared instance; use
+    /// [`l3_stats`](Self::l3_stats) for aggregate numbers.
+    pub fn l3(&self) -> &L3Cache {
+        &self.l3
+    }
+
+    /// Aggregate L3 statistics across the shared instance or all
+    /// private L3s, whichever the organization uses.
+    pub fn l3_stats(&self) -> cmpsim_mem::L3Stats {
+        match self.cfg.l3_organization {
+            L3Organization::SharedVictim => self.l3.stats(),
+            L3Organization::PrivatePerL2 => {
+                let mut acc = cmpsim_mem::L3Stats::default();
+                for l3 in &self.private_l3s {
+                    let s = l3.stats();
+                    acc.read_hits += s.read_hits;
+                    acc.read_misses += s.read_misses;
+                    acc.reads_served += s.reads_served;
+                    acc.castouts_accepted += s.castouts_accepted;
+                    acc.castouts_squashed += s.castouts_squashed;
+                    acc.retries_issued += s.retries_issued;
+                    acc.invalidations += s.invalidations;
+                    acc.dirty_victims_to_memory += s.dirty_victims_to_memory;
+                    acc.read_queue_high_water =
+                        acc.read_queue_high_water.max(s.read_queue_high_water);
+                    acc.data_queue_high_water =
+                        acc.data_queue_high_water.max(s.data_queue_high_water);
+                }
+                acc
+            }
+        }
+    }
+
+    /// Coherence state of `line` in L2 `l2`, if resident (inspection
+    /// API for tests and tools).
+    pub fn l2_state(&self, l2: usize, line: LineAddr) -> Option<L2State> {
+        self.l2s.get(l2).and_then(|u| u.state_of(line))
+    }
+
+    /// Is `line` currently parked in L2 `l2`'s write-back queue?
+    pub fn l2_wbq_contains(&self, l2: usize, line: LineAddr) -> bool {
+        self.l2s.get(l2).is_some_and(|u| u.wbq.contains(line))
+    }
+
+    /// The memory controller statistics.
+    pub fn memory(&self) -> &MemoryController {
+        &self.mem
+    }
+
+    /// Ring utilization statistics.
+    pub fn ring_stats(&self) -> cmpsim_ring::RingStats {
+        self.ring.stats()
+    }
+
+    /// Merged WBHT statistics across all L2s (empty stats when the
+    /// policy has no WBHT).
+    pub fn wbht_stats(&self) -> crate::policy::WbhtStats {
+        let mut acc = crate::policy::WbhtStats::default();
+        for l2 in &self.l2s {
+            if let Some(w) = &l2.wbht {
+                let s = w.stats();
+                acc.decisions += s.decisions;
+                acc.aborted += s.aborted;
+                acc.correct += s.correct;
+                acc.allocated += s.allocated;
+            }
+        }
+        acc
+    }
+
+    /// Snarf-table statistics (when the policy snarfs).
+    pub fn snarf_table_stats(&self) -> Option<crate::policy::SnarfStats> {
+        self.snarf_table.as_ref().map(|t| t.stats())
+    }
+
+    pub(super) fn finalize_stats(&mut self) {
+        self.stats.cycles = self
+            .threads
+            .iter()
+            .map(|t| t.completed_at.unwrap_or(t.next_time))
+            .max()
+            .unwrap_or(0);
+        self.stats.mshr_high_water = self
+            .l2s
+            .iter()
+            .map(|l2| l2.mshrs.high_water() as u64)
+            .max()
+            .unwrap_or(0)
+            .max(self.stats.mshr_high_water);
+        self.stats.wbq_high_water = self
+            .l2s
+            .iter()
+            .map(|l2| l2.wbq.high_water() as u64)
+            .max()
+            .unwrap_or(0)
+            .max(self.stats.wbq_high_water);
+        self.stats.event_queue_high_water = self
+            .stats
+            .event_queue_high_water
+            .max(self.queue.high_water() as u64);
+        // Snarfed lines still resident and unused count as unused.
+        let mut still_unused = 0;
+        for l2 in &self.l2s {
+            for f in l2.snarfed_lines.values() {
+                if !f.used_locally && !f.used_for_intervention {
+                    still_unused += 1;
+                }
+            }
+        }
+        self.stats.snarf.evicted_unused += still_unused;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use cmpsim_cache::LineAddr;
+
+    use crate::config::{L3Organization, SystemConfig};
+    use crate::policy::{PolicyConfig, SnarfConfig};
+    use crate::system::testutil::system;
+    use crate::system::System;
+
+    #[test]
+    fn private_l3_partitions_are_separate() {
+        let mut cfg = SystemConfig::scaled(16);
+        cfg.l3_organization = L3Organization::PrivatePerL2;
+        let mut sys = System::with_source(
+            cfg,
+            Box::new(cmpsim_trace::TracePlayback::new("idle", vec![], 16, 1)),
+        )
+        .unwrap();
+        assert_eq!(sys.private_l3s.len(), 4);
+        let line = LineAddr::new(8);
+        sys.l3_for(0).accept_castout(0, line, false);
+        assert!(sys.private_l3s[0].peek(line));
+        assert!(!sys.private_l3s[1].peek(line));
+        let agg = sys.l3_stats();
+        assert_eq!(agg.castouts_accepted, 1);
+    }
+
+    #[test]
+    fn snarf_policy_builds_table_and_buffers() {
+        let sys = system(PolicyConfig::Snarf(SnarfConfig {
+            entries: 256,
+            ..Default::default()
+        }));
+        assert!(sys.snarf_table.is_some());
+        assert!(sys.snarf_table_stats().is_some());
+    }
+}

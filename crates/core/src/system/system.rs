@@ -1,59 +1,54 @@
-//! The full CMP system model and its event loop.
+//! The `System` orchestrator: it owns all simulator state and the event
+//! loop, and dispatches each event to the protocol-phase module that
+//! handles it (see the module map in [`crate::system`]).
 
 use std::collections::HashMap;
 
-use cmpsim_cache::{InsertPosition, LineAddr};
-use cmpsim_coherence::{
-    AgentId, BusTxn, CombinedResponse, DataSource, L2Id, L2State, SnoopCollector, SnoopResponse,
-    TxnId, TxnKind, WbOutcome,
-};
-use cmpsim_engine::spans::{SpanOutcome, SpanPhase, SpanTracer};
-use cmpsim_engine::telemetry::{
-    IntervalRecord, IntervalSampler, SimEvent, SquashReason, Telemetry,
-};
+use cmpsim_cache::LineAddr;
+use cmpsim_coherence::{L2Id, L2State, SnoopCollector, TxnId, TxnState};
+use cmpsim_engine::spans::SpanTracer;
+use cmpsim_engine::telemetry::{IntervalSampler, Telemetry};
 use cmpsim_engine::{Channel, Cycle, EventQueue};
 use cmpsim_mem::{L3Cache, MemoryController};
 use cmpsim_ring::{Ring, RingTopology};
 use cmpsim_trace::{ReferenceSource, SyntheticWorkload, ThreadId};
 
 use crate::config::{L3Organization, SystemConfig};
-use crate::policy::{PolicyConfig, RetrySwitch, RetrySwitchConfig, SnarfTable, UpdateScope, Wbht};
+use crate::policy::{PolicyConfig, RetrySwitch, SnarfTable, Wbht};
 use crate::system::l1::L1Cache;
-use crate::system::l2::{L2Unit, SnarfFlags};
+use crate::system::l2::L2Unit;
 use crate::system::stats::SystemStats;
-use crate::system::thread::{Park, ThreadCtx};
+use crate::system::thread::ThreadCtx;
 
-/// Simulation events.
+/// Simulation events. Bus transactions carry their full pipeline state
+/// ([`TxnState`]) so every phase module reads and re-issues the same
+/// explicit type.
 #[derive(Debug, Clone, Copy)]
-enum Ev {
+pub(super) enum Ev {
     /// A thread resumes issuing references.
     ThreadStep(ThreadId),
     /// A bus transaction arbitrates for the address ring.
-    BusIssue {
-        txn: BusTxn,
-        origin: Origin,
-        attempt: u32,
-    },
+    BusIssue(TxnState),
     /// Demand data arrives at the requesting L2.
     Fill {
+        /// The filling L2.
         l2: L2Id,
+        /// The line being installed.
         line: LineAddr,
+        /// Install state granted by the combined response.
         state: L2State,
     },
     /// A snarfed castout arrives at the absorbing L2.
     SnarfFill {
+        /// The absorbing L2.
         l2: L2Id,
+        /// The absorbed line.
         line: LineAddr,
+        /// Whether the line carries dirty data.
         dirty: bool,
     },
     /// The L2's write-back queue drains its next entry.
     WbDrain(L2Id),
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Origin {
-    Miss,
-    Castout { dirty: bool },
 }
 
 /// The modelled chip multiprocessor (paper Figure 1): 8 two-way-SMT
@@ -76,51 +71,51 @@ enum Origin {
 /// ```
 #[derive(Debug)]
 pub struct System {
-    cfg: SystemConfig,
-    workload: Box<dyn ReferenceSource>,
-    queue: EventQueue<Ev>,
-    ring: Ring,
-    collector: SnoopCollector,
-    l3: L3Cache,
+    pub(super) cfg: SystemConfig,
+    pub(super) workload: Box<dyn ReferenceSource>,
+    pub(super) queue: EventQueue<Ev>,
+    pub(super) ring: Ring,
+    pub(super) collector: SnoopCollector,
+    pub(super) l3: L3Cache,
     /// POWER5-style chip-private L3s (one per L2) when the configuration
     /// selects [`L3Organization::PrivatePerL2`]; empty otherwise.
-    private_l3s: Vec<L3Cache>,
-    mem: MemoryController,
-    l3_link: Channel,
+    pub(super) private_l3s: Vec<L3Cache>,
+    pub(super) mem: MemoryController,
+    pub(super) l3_link: Channel,
     /// Dedicated per-L2 buses to the private L3s.
-    private_l3_links: Vec<Channel>,
-    mem_link: Channel,
-    l2s: Vec<L2Unit>,
-    l1s: Vec<L1Cache>,
-    threads: Vec<ThreadCtx>,
-    retry_switch: RetrySwitch,
-    snarf_table: Option<SnarfTable>,
-    snarf_insert_pos: InsertPosition,
-    txn_seq: TxnId,
-    stats: SystemStats,
+    pub(super) private_l3_links: Vec<Channel>,
+    pub(super) mem_link: Channel,
+    pub(super) l2s: Vec<L2Unit>,
+    pub(super) l1s: Vec<L1Cache>,
+    pub(super) threads: Vec<ThreadCtx>,
+    pub(super) retry_switch: RetrySwitch,
+    pub(super) snarf_table: Option<SnarfTable>,
+    pub(super) snarf_insert_pos: cmpsim_cache::InsertPosition,
+    pub(super) txn_seq: TxnId,
+    pub(super) stats: SystemStats,
     /// Lines written back and not yet re-referenced: line -> accepted by
     /// L3 (Table 2 tracking).
-    wb_pending: HashMap<u64, bool>,
+    pub(super) wb_pending: HashMap<u64, bool>,
     /// Miss issue times for the latency histogram: (l2, line) -> cycle.
-    miss_issue: HashMap<(u8, u64), Cycle>,
+    pub(super) miss_issue: HashMap<(u8, u64), Cycle>,
     /// Fills granted by a combined response but not yet landed:
     /// (l2, line). Snoops retry against these — ownership is in flight.
-    inbound_fills: std::collections::HashSet<(u8, u64)>,
+    pub(super) inbound_fills: std::collections::HashSet<(u8, u64)>,
     /// Snarfed castouts in flight to their absorbing L2: the line is in
     /// no tag array during the transfer, so snoops must retry against
     /// these too (the absorber has reserved a line-fill buffer for it).
-    inbound_snarfs: std::collections::HashSet<(u8, u64)>,
+    pub(super) inbound_snarfs: std::collections::HashSet<(u8, u64)>,
     /// Debug: line (raw) whose every transition is logged to stderr.
     /// Set via the `CMPSIM_TRACE_LINE` environment variable (hex).
-    trace_line: Option<u64>,
+    pub(super) trace_line: Option<u64>,
     /// Event-trace handle, shared (cloned) into every instrumented
     /// component. Disabled by default: one dead branch per emission site.
-    telemetry: Telemetry,
+    pub(super) telemetry: Telemetry,
     /// Interval sampler snapshotting key counters every N cycles.
-    sampler: Option<IntervalSampler>,
+    pub(super) sampler: Option<IntervalSampler>,
     /// Transaction span tracer. Disabled by default: one dead branch per
     /// instrumentation site, mirroring `telemetry`.
-    spans: SpanTracer,
+    pub(super) spans: SpanTracer,
 }
 
 /// Errors from building a [`System`].
@@ -196,7 +191,7 @@ impl System {
         };
         let snarf_insert_pos = snarf_cfg
             .map(|s| s.insert_pos)
-            .unwrap_or(InsertPosition::Mru);
+            .unwrap_or(cmpsim_cache::InsertPosition::Mru);
 
         let l2s = L2Id::all(cfg.num_l2)
             .map(|id| {
@@ -270,63 +265,6 @@ impl System {
         })
     }
 
-    /// Overrides the retry-switch configuration (scaled-down runs use a
-    /// proportionally shorter window).
-    pub fn set_retry_switch(&mut self, cfg: RetrySwitchConfig) {
-        self.retry_switch = RetrySwitch::new(cfg);
-        self.retry_switch.attach_telemetry(self.telemetry.clone());
-    }
-
-    /// Attaches an event-trace handle and propagates clones of it to
-    /// every instrumented component (L2s and their WBHTs, the retry
-    /// switch, the snarf table, and the L3s).
-    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
-        for l2 in &mut self.l2s {
-            l2.attach_telemetry(telemetry.clone());
-        }
-        self.retry_switch.attach_telemetry(telemetry.clone());
-        if let Some(t) = &mut self.snarf_table {
-            t.attach_telemetry(telemetry.clone());
-        }
-        self.l3.attach_telemetry(telemetry.clone());
-        for l3 in &mut self.private_l3s {
-            l3.attach_telemetry(telemetry.clone());
-        }
-        self.telemetry = telemetry;
-    }
-
-    /// Attaches a transaction span tracer. Every subsequent L2
-    /// miss/upgrade/castout transaction gets a cycle-stamped phase
-    /// timeline (subject to the tracer's sampling rate). Pass a clone and
-    /// keep the original: clones share one record book, so the caller can
-    /// read the finished spans after [`run`](Self::run).
-    pub fn set_span_tracer(&mut self, spans: SpanTracer) {
-        self.spans = spans;
-    }
-
-    /// The attached span tracer (disabled unless
-    /// [`set_span_tracer`](Self::set_span_tracer) was called).
-    pub fn span_tracer(&self) -> &SpanTracer {
-        &self.spans
-    }
-
-    /// Enables interval sampling: key counters are snapshotted every
-    /// `period` cycles into [`interval_records`](Self::interval_records)
-    /// (and, when tracing is on, emitted as [`SimEvent::Interval`]).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `period` is 0.
-    pub fn enable_interval_sampling(&mut self, period: Cycle) {
-        self.sampler = Some(IntervalSampler::new(period));
-    }
-
-    /// The interval time series recorded so far (empty when sampling is
-    /// disabled).
-    pub fn interval_records(&self) -> &[IntervalRecord] {
-        self.sampler.as_ref().map_or(&[], |s| s.records())
-    }
-
     /// The configuration.
     pub fn config(&self) -> &SystemConfig {
         &self.cfg
@@ -366,1670 +304,30 @@ impl System {
         self.stats.clone()
     }
 
-    /// Closes passed sampler window(s) at `now` (`finish` also closes
-    /// the trailing partial window) and mirrors each new record into the
-    /// event trace.
-    fn close_intervals(&mut self, now: Cycle, finish: bool) {
-        let snapshot = self.counter_snapshot();
-        let Some(sampler) = &mut self.sampler else {
-            return;
-        };
-        let already = sampler.records().len();
-        if finish {
-            sampler.finish(now, &snapshot);
-        } else {
-            sampler.sample(now, &snapshot);
-        }
-        for rec in &sampler.records()[already..] {
-            self.telemetry.emit(rec.end, || SimEvent::Interval {
-                start: rec.start,
-                end: rec.end,
-                counters: rec.counters.clone(),
-            });
-        }
-    }
-
-    /// The cumulative counters the interval sampler tracks.
-    fn counter_snapshot(&self) -> Vec<(&'static str, u64)> {
-        let s = &self.stats;
-        vec![
-            ("refs", s.refs),
-            ("l2_misses", s.l2.iter().map(|l| l.misses).sum()),
-            ("fills_from_l2", s.fills_from_l2),
-            ("fills_from_l3", s.fills_from_l3),
-            ("fills_from_memory", s.fills_from_memory),
-            ("wb_dirty", s.wb.dirty_requests),
-            ("wb_clean", s.wb.clean_requests),
-            ("wb_clean_aborted", s.wb.clean_aborted),
-            ("wb_squashed_l3", s.wb.clean_squashed_l3),
-            ("wb_snarfed", s.wb.snarfed),
-            ("retries_total", s.retries_total),
-            ("retries_l3", s.retries_l3),
-            ("upgrades", s.upgrades),
-        ]
-    }
-
-    /// Statistics accumulated so far (valid after [`run`](Self::run)).
-    pub fn stats(&self) -> &SystemStats {
-        &self.stats
-    }
-
-    /// The L3 model (for oracle peeks and statistics). In the private
-    /// organization this is the (unused) shared instance; use
-    /// [`l3_stats`](Self::l3_stats) for aggregate numbers.
-    pub fn l3(&self) -> &L3Cache {
-        &self.l3
-    }
-
-    /// Aggregate L3 statistics across the shared instance or all
-    /// private L3s, whichever the organization uses.
-    pub fn l3_stats(&self) -> cmpsim_mem::L3Stats {
-        match self.cfg.l3_organization {
-            L3Organization::SharedVictim => self.l3.stats(),
-            L3Organization::PrivatePerL2 => {
-                let mut acc = cmpsim_mem::L3Stats::default();
-                for l3 in &self.private_l3s {
-                    let s = l3.stats();
-                    acc.read_hits += s.read_hits;
-                    acc.read_misses += s.read_misses;
-                    acc.reads_served += s.reads_served;
-                    acc.castouts_accepted += s.castouts_accepted;
-                    acc.castouts_squashed += s.castouts_squashed;
-                    acc.retries_issued += s.retries_issued;
-                    acc.invalidations += s.invalidations;
-                    acc.dirty_victims_to_memory += s.dirty_victims_to_memory;
-                    acc.read_queue_high_water =
-                        acc.read_queue_high_water.max(s.read_queue_high_water);
-                    acc.data_queue_high_water =
-                        acc.data_queue_high_water.max(s.data_queue_high_water);
-                }
-                acc
-            }
-        }
-    }
-
-    /// Coherence state of `line` in L2 `l2`, if resident (inspection
-    /// API for tests and tools).
-    pub fn l2_state(&self, l2: usize, line: LineAddr) -> Option<L2State> {
-        self.l2s.get(l2).and_then(|u| u.state_of(line))
-    }
-
-    /// Is `line` currently parked in L2 `l2`'s write-back queue?
-    pub fn l2_wbq_contains(&self, l2: usize, line: LineAddr) -> bool {
-        self.l2s.get(l2).is_some_and(|u| u.wbq.contains(line))
-    }
-
-    /// The L3 that absorbs L2 `i`'s castouts and serves its misses.
-    fn l3_for(&mut self, i: usize) -> &mut L3Cache {
-        match self.cfg.l3_organization {
-            L3Organization::SharedVictim => &mut self.l3,
-            L3Organization::PrivatePerL2 => &mut self.private_l3s[i],
-        }
-    }
-
-    /// The memory controller statistics.
-    pub fn memory(&self) -> &MemoryController {
-        &self.mem
-    }
-
-    /// Ring utilization statistics.
-    pub fn ring_stats(&self) -> cmpsim_ring::RingStats {
-        self.ring.stats()
-    }
-
-    /// Merged WBHT statistics across all L2s (empty stats when the
-    /// policy has no WBHT).
-    pub fn wbht_stats(&self) -> crate::policy::WbhtStats {
-        let mut acc = crate::policy::WbhtStats::default();
-        for l2 in &self.l2s {
-            if let Some(w) = &l2.wbht {
-                let s = w.stats();
-                acc.decisions += s.decisions;
-                acc.aborted += s.aborted;
-                acc.correct += s.correct;
-                acc.allocated += s.allocated;
-            }
-        }
-        acc
-    }
-
-    /// Snarf-table statistics (when the policy snarfs).
-    pub fn snarf_table_stats(&self) -> Option<crate::policy::SnarfStats> {
-        self.snarf_table.as_ref().map(|t| t.stats())
-    }
-
-    /// Verifies protocol invariants across all caches (used by tests):
-    /// at most one dirty owner per line, `E`/`M` exclusivity, at most one
-    /// `SL` holder.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a description of the violated invariant.
-    pub fn check_invariants(&self) {
-        use std::collections::HashMap as Map;
-        let mut holders: Map<u64, Vec<(usize, L2State)>> = Map::new();
-        for (i, l2) in self.l2s.iter().enumerate() {
-            for line in all_lines(l2) {
-                let st = l2.state_of(line).expect("listed line resident");
-                holders.entry(line.raw()).or_default().push((i, st));
-            }
-        }
-        for (line, hs) in holders {
-            let dirty = hs.iter().filter(|(_, s)| s.is_dirty()).count();
-            assert!(dirty <= 1, "line {line:#x}: {dirty} dirty owners: {hs:?}");
-            let excl = hs.iter().filter(|(_, s)| s.is_exclusive()).count();
-            if excl > 0 {
-                assert_eq!(hs.len(), 1, "line {line:#x}: E/M with sharers: {hs:?}");
-            }
-            let sl = hs.iter().filter(|(_, s)| *s == L2State::SharedLast).count();
-            assert!(sl <= 1, "line {line:#x}: {sl} SL holders: {hs:?}");
-        }
-    }
-
-    #[inline]
-    fn trace(&self, line: LineAddr, msg: &dyn Fn() -> String) {
-        if self.trace_line == Some(line.raw()) {
-            eprintln!("[trace {line}] {}", msg());
-        }
-    }
-
-    // --- event dispatch ---------------------------------------------------
-
+    /// Routes one event to its phase module.
     fn dispatch(&mut self, now: Cycle, ev: Ev) {
         match ev {
             Ev::ThreadStep(t) => self.handle_thread_step(now, t),
-            Ev::BusIssue {
-                txn,
-                origin,
-                attempt,
-            } => self.handle_bus_issue(now, txn, origin, attempt),
+            Ev::BusIssue(state) => self.handle_bus_issue(now, state),
             Ev::Fill { l2, line, state } => self.handle_fill(now, l2, line, state),
             Ev::SnarfFill { l2, line, dirty } => self.handle_snarf_fill(now, l2, line, dirty),
             Ev::WbDrain(l2) => self.handle_wb_drain(now, l2),
         }
     }
 
-    // --- thread issue -----------------------------------------------------
-
-    fn handle_thread_step(&mut self, now: Cycle, t: ThreadId) {
-        let ti = t.index();
-        if self.threads[ti].park == Park::Done {
-            return;
-        }
-        self.threads[ti].park = Park::Running;
-        self.threads[ti].next_time = self.threads[ti].next_time.max(now);
-        let l2id = self.cfg.l2_of_thread(t);
-        let mut processed = 0usize;
-        loop {
-            if self.threads[ti].stream_done() {
-                self.threads[ti].park = Park::Done;
-                self.note_possible_completion(now, t);
-                return;
-            }
-            if self.threads[ti].outstanding >= self.cfg.max_outstanding {
-                self.threads[ti].park = Park::Outstanding;
-                return;
-            }
-            if processed >= self.cfg.thread_batch {
-                let at = self.threads[ti].next_time;
-                self.queue.push(at.max(now), Ev::ThreadStep(t));
-                return;
-            }
-            let rec = match self.threads[ti].pending.take() {
-                Some(r) => r,
-                None => self.workload.next_record(t),
-            };
-            if !self.process_reference(t, l2id, rec) {
-                // Parked on MSHR exhaustion; the record is preserved.
-                return;
-            }
-            processed += 1;
+    /// The L3 that absorbs L2 `i`'s castouts and serves its misses.
+    pub(super) fn l3_for(&mut self, i: usize) -> &mut L3Cache {
+        match self.cfg.l3_organization {
+            L3Organization::SharedVictim => &mut self.l3,
+            L3Organization::PrivatePerL2 => &mut self.private_l3s[i],
         }
     }
 
-    /// Processes one reference; returns `false` when the thread parked
-    /// (record preserved in `pending`).
-    fn process_reference(
-        &mut self,
-        t: ThreadId,
-        l2id: L2Id,
-        rec: cmpsim_trace::TraceRecord,
-    ) -> bool {
-        let ti = t.index();
-        let i = l2id.index();
-        let core = self.cfg.core_of_thread(t);
-        let line = rec.addr.line(self.cfg.line_bytes);
-        let is_store = rec.op.is_store();
-        let t_now = self.threads[ti].next_time;
-
-        // L1 filter (loads only; stores write through).
-        if !is_store && !self.l1s.is_empty() && self.l1s[core].load(line) {
-            self.stats.l1_hits += 1;
-            self.count_ref(ti, is_store);
-            return true;
+    /// Logs `msg` to stderr when `line` is the `CMPSIM_TRACE_LINE` line.
+    #[inline]
+    pub(super) fn trace(&self, line: LineAddr, msg: &dyn Fn() -> String) {
+        if self.trace_line == Some(line.raw()) {
+            eprintln!("[trace {line}] {}", msg());
         }
-
-        // L2 lookup.
-        let mut resident = self.l2s[i].state_of(line);
-
-        // Write-back queue recovery: the line was evicted recently and is
-        // still waiting in our own castout queue — pull it back.
-        if resident.is_none()
-            && !self.l2s[i].castouts_inflight.contains(&line)
-            && self.l2s[i].wbq.contains(line)
-        {
-            let e = self.l2s[i].wbq.remove(line).expect("entry just seen");
-            // While parked in the queue the entry may have served
-            // interventions (the queue is snoopable), so peers can hold
-            // Shared copies now: a recovered dirty line is then the
-            // shared dirty owner (T), and a recovered clean line must
-            // not claim a second SL.
-            let peer_copies =
-                (0..self.l2s.len()).any(|j| j != i && self.l2s[j].state_of(line).is_some());
-            let st = match (e.dirty, peer_copies) {
-                (true, false) => L2State::Modified,
-                (true, true) => L2State::Tagged,
-                (false, _) => self.sanitize_install(i, line, L2State::SharedLast),
-            };
-            if let Some((vline, vst)) = self.l2s[i].fill(line, st, InsertPosition::Mru) {
-                self.on_l2_eviction(t_now, i, vline, vst);
-            }
-            self.trace(line, &|| format!("wbq-recovery L2#{i} -> {st}"));
-            self.stats.l2[i].wbq_recoveries += 1;
-            resident = Some(st);
-        }
-
-        match resident {
-            Some(st) if !is_store || st.is_writable() => {
-                // Plain hit.
-                self.l2s[i].touch(line);
-                if is_store && st == L2State::Exclusive {
-                    self.l2s[i].set_state(line, L2State::Modified);
-                }
-                self.note_l2_hit(i, core, line, is_store);
-                self.count_ref(ti, is_store);
-                true
-            }
-            Some(_) => {
-                // Store on a shared copy: upgrade transaction.
-                self.note_l2_hit(i, core, line, is_store);
-                self.start_miss(t, l2id, line, TxnKind::Upgrade, rec)
-            }
-            None => {
-                let kind = if is_store {
-                    TxnKind::ReadExclusive
-                } else {
-                    TxnKind::ReadShared
-                };
-                self.stats.l2[i].misses += 1;
-                self.telemetry.emit(t_now, || SimEvent::L2Miss {
-                    l2: i as u32,
-                    line: line.raw(),
-                    store: is_store,
-                });
-                self.start_miss(t, l2id, line, kind, rec)
-            }
-        }
-    }
-
-    fn note_l2_hit(&mut self, i: usize, core: usize, line: LineAddr, is_store: bool) {
-        self.stats.l2[i].hits += 1;
-        if let Some(f) = self.l2s[i].snarfed_lines.get_mut(&line.raw()) {
-            if !f.used_locally {
-                f.used_locally = true;
-                self.stats.snarf.used_locally += 1;
-            }
-        }
-        if !is_store && !self.l1s.is_empty() {
-            self.l1s[core].fill(line);
-        }
-    }
-
-    fn count_ref(&mut self, ti: usize, is_store: bool) {
-        self.threads[ti].issued += 1;
-        self.threads[ti].next_time += self.workload.issue_interval();
-        self.stats.refs += 1;
-        if is_store {
-            self.stats.stores += 1;
-        } else {
-            self.stats.loads += 1;
-        }
-    }
-
-    /// Registers a miss/upgrade with the MSHRs and issues the bus
-    /// transaction for primaries. Returns `false` when parked.
-    fn start_miss(
-        &mut self,
-        t: ThreadId,
-        l2id: L2Id,
-        line: LineAddr,
-        kind: TxnKind,
-        rec: cmpsim_trace::TraceRecord,
-    ) -> bool {
-        let ti = t.index();
-        let i = l2id.index();
-        let t_now = self.threads[ti].next_time;
-        match self.l2s[i].mshrs.allocate(line, t) {
-            Err(_) => {
-                self.threads[ti].pending = Some(rec);
-                self.threads[ti].park = Park::MshrFull;
-                self.l2s[i].waiting_threads.push(t);
-                false
-            }
-            Ok(primary) => {
-                self.threads[ti].outstanding += 1;
-                if primary {
-                    let txn = BusTxn::new(self.txn_seq.bump(), kind, line, l2id);
-                    self.spans
-                        .start(txn.span_id(), txn.span_kind(), i as u32, line.raw(), t_now);
-                    self.miss_issue.insert((i as u8, line.raw()), t_now);
-                    self.queue.push(
-                        (t_now + self.cfg.miss_detect_cycles).max(self.queue.now()),
-                        Ev::BusIssue {
-                            txn,
-                            origin: Origin::Miss,
-                            attempt: 0,
-                        },
-                    );
-                }
-                self.count_ref(ti, rec.op.is_store());
-                true
-            }
-        }
-    }
-
-    // --- bus transactions ---------------------------------------------------
-
-    fn handle_bus_issue(&mut self, now: Cycle, txn: BusTxn, origin: Origin, attempt: u32) {
-        match origin {
-            Origin::Miss => self.bus_issue_miss(now, txn, attempt),
-            Origin::Castout { dirty } => self.bus_issue_castout(now, txn, dirty, attempt),
-        }
-    }
-
-    fn bus_issue_miss(&mut self, now: Cycle, mut txn: BusTxn, attempt: u32) {
-        let i = txn.src.index();
-        let line = txn.line;
-        let sid = txn.span_id();
-        // First attempt: the segment since span start is the miss-detect
-        // / MSHR window. Retries: the segment since the combined response
-        // is back-off queueing.
-        if attempt == 0 {
-            self.spans.mark(sid, SpanPhase::MshrAlloc, now);
-        } else {
-            self.spans.mark(sid, SpanPhase::RetryBackoff, now);
-        }
-        // Revalidate against state changes since the miss was detected
-        // (snarfs, peer castout squashes, races during retries).
-        let st = self.l2s[i].state_of(line);
-        match (txn.kind, st) {
-            (TxnKind::Upgrade, None) => txn.kind = TxnKind::ReadExclusive,
-            (TxnKind::Upgrade, Some(s)) if s.is_writable() => {
-                // Already exclusive (e.g. peers vanished): done.
-                self.spans.finish(sid, SpanOutcome::ResolvedLocal, now);
-                self.queue.push(
-                    now,
-                    Ev::Fill {
-                        l2: txn.src,
-                        line,
-                        state: L2State::Modified,
-                    },
-                );
-                return;
-            }
-            (TxnKind::ReadShared, Some(_)) => {
-                // The line arrived by other means (snarf): hit.
-                self.spans.finish(sid, SpanOutcome::ResolvedLocal, now);
-                self.queue.push(
-                    now,
-                    Ev::Fill {
-                        l2: txn.src,
-                        line,
-                        state: st.expect("present"),
-                    },
-                );
-                return;
-            }
-            (TxnKind::ReadExclusive, Some(s)) => {
-                if s.is_writable() {
-                    self.spans.finish(sid, SpanOutcome::ResolvedLocal, now);
-                    self.queue.push(
-                        now,
-                        Ev::Fill {
-                            l2: txn.src,
-                            line,
-                            state: L2State::Modified,
-                        },
-                    );
-                    return;
-                }
-                txn.kind = TxnKind::Upgrade;
-            }
-            _ => {}
-        }
-
-        let src_agent = AgentId::L2(txn.src);
-        let (arb_wait, t_ring) = self.ring.issue_address_timed(now, src_agent);
-        self.spans.mark(sid, SpanPhase::RingArb, now + arb_wait);
-        self.spans.mark(sid, SpanPhase::RingTransit, t_ring);
-
-        // Snoop phase.
-        let mut responses: Vec<SnoopResponse> = Vec::with_capacity(self.l2s.len() + 2);
-        let mut t_collect: Cycle = self.ring.response_at_collector(t_ring, src_agent);
-        for j in 0..self.l2s.len() {
-            if j == i {
-                continue;
-            }
-            let agent = AgentId::L2(L2Id::new(j as u8));
-            let t_sn = self.ring.snoop_arrival(t_ring, src_agent, agent);
-            let t_resp = self.snoop_port(j, t_sn);
-            let resp = self.snoop_l2_read(j, line);
-            t_collect = t_collect.max(self.ring.response_at_collector(t_resp, agent));
-            responses.push(resp);
-        }
-        // L3 snoop: the shared victim cache, or (private organization)
-        // the requester's own L3 — probed at the same point of the
-        // address phase over its dedicated bus.
-        {
-            let t_sn = self.ring.snoop_arrival(t_ring, src_agent, AgentId::L3);
-            let snoop_lat = self.cfg.l2_snoop_cycles;
-            let resp = if txn.kind == TxnKind::Upgrade {
-                SnoopResponse::Null
-            } else {
-                self.l3_for(i).snoop_read(t_sn, line)
-            };
-            let t_resp = t_sn + snoop_lat;
-            t_collect = t_collect.max(self.ring.response_at_collector(t_resp, AgentId::L3));
-            responses.push(resp);
-        }
-        // Memory ack.
-        {
-            let t_sn = self.ring.snoop_arrival(t_ring, src_agent, AgentId::Memory);
-            t_collect = t_collect.max(self.ring.response_at_collector(t_sn, AgentId::Memory));
-            responses.push(if txn.kind == TxnKind::Upgrade {
-                SnoopResponse::Null
-            } else {
-                SnoopResponse::MemoryAck
-            });
-        }
-
-        let combined = self.collector.combine(&txn, &responses);
-        let t_seen = self.ring.combined_arrival(t_collect, src_agent);
-
-        match combined {
-            CombinedResponse::Retry { l3_issued } => {
-                self.spans.mark(sid, SpanPhase::SnoopWindow, t_seen);
-                self.record_retry(t_seen, l3_issued);
-                self.stats.read_retries += 1;
-                self.queue.push(
-                    t_seen + self.retry_delay(&txn, attempt),
-                    Ev::BusIssue {
-                        txn,
-                        origin: Origin::Miss,
-                        attempt: attempt + 1,
-                    },
-                );
-            }
-            CombinedResponse::UpgradeOk => {
-                self.trace(line, &|| format!("upgrade-ok {}", txn.src));
-                self.spans.mark(sid, SpanPhase::SnoopWindow, t_seen);
-                self.spans.finish(sid, SpanOutcome::Upgraded, t_seen);
-                self.stats.upgrades += 1;
-                self.apply_invalidations(txn.src, line, None);
-                self.inbound_fills
-                    .insert((txn.src.index() as u8, line.raw()));
-                self.queue.push(
-                    t_seen,
-                    Ev::Fill {
-                        l2: txn.src,
-                        line,
-                        state: L2State::Modified,
-                    },
-                );
-            }
-            CombinedResponse::Read { source, sharers } => {
-                self.apply_read(t_collect, t_seen, &txn, source, sharers);
-            }
-            CombinedResponse::Wb(_) => unreachable!("castout response to a read"),
-        }
-    }
-
-    /// Books an L2's snoop tag port (pipelined: the port is occupied for
-    /// `l2_snoop_occupancy`, the full lookup takes `l2_snoop_cycles`).
-    fn snoop_port(&mut self, j: usize, t_sn: Cycle) -> Cycle {
-        let occ = self.cfg.l2_snoop_occupancy.min(self.cfg.l2_snoop_cycles);
-        self.l2s[j].snoop_srv.reserve_for(t_sn, occ) + (self.cfg.l2_snoop_cycles - occ)
-    }
-
-    fn snoop_l2_read(&mut self, j: usize, line: LineAddr) -> SnoopResponse {
-        let id = L2Id::new(j as u8);
-        // Address collision with a granted, in-flight fill at this
-        // peer: ownership is in transit, so the snooped transaction must
-        // retry (standard snoop behaviour for MSHR address matches).
-        // Ungranted misses do NOT retry — their own bus phase is still
-        // pending and will observe whatever this transaction decides.
-        if self.inbound_fills.contains(&(j as u8, line.raw()))
-            || self.inbound_snarfs.contains(&(j as u8, line.raw()))
-        {
-            return SnoopResponse::L2Retry(id);
-        }
-        match self.l2s[j].state_of(line) {
-            Some(L2State::Modified) | Some(L2State::Tagged) => SnoopResponse::DirtyIntervene(id),
-            Some(L2State::Exclusive) | Some(L2State::SharedLast) => {
-                SnoopResponse::CleanIntervene(id)
-            }
-            Some(L2State::Shared) => SnoopResponse::SharedNoIntervene(id),
-            None => {
-                // The write-back queue is snoopable: a line parked there
-                // is still this cache's to provide.
-                match self.l2s[j].wbq.get(line) {
-                    Some(e) if e.dirty => SnoopResponse::DirtyIntervene(id),
-                    Some(_) => SnoopResponse::CleanIntervene(id),
-                    None => SnoopResponse::Null,
-                }
-            }
-        }
-    }
-
-    fn apply_read(
-        &mut self,
-        t_collect: Cycle,
-        t_seen: Cycle,
-        txn: &BusTxn,
-        source: DataSource,
-        sharers: bool,
-    ) {
-        let line = txn.line;
-        let src_agent = AgentId::L2(txn.src);
-
-        // Reuse bookkeeping: this is a demand miss on the line.
-        if let Some(accepted) = self.wb_pending.remove(&line.raw()) {
-            self.stats.wb_reuse.reused_total += 1;
-            if accepted {
-                self.stats.wb_reuse.reused_accepted += 1;
-            }
-        }
-        if let Some(t) = &mut self.snarf_table {
-            t.observe_miss(line);
-        }
-
-        self.trace(line, &|| {
-            format!(
-                "grant {} src={:?} sharers={sharers} for {}",
-                txn.kind, source, txn.src
-            )
-        });
-        let install = match (txn.kind, source) {
-            (TxnKind::ReadExclusive, _) => L2State::Modified,
-            (_, DataSource::L2 { dirty: true, .. }) => L2State::Shared,
-            (_, DataSource::L2 { dirty: false, .. }) => L2State::SharedLast,
-            (_, DataSource::L3 { .. }) => {
-                if sharers {
-                    L2State::Shared
-                } else {
-                    L2State::SharedLast
-                }
-            }
-            (_, DataSource::Memory) => {
-                if sharers {
-                    L2State::Shared
-                } else {
-                    L2State::Exclusive
-                }
-            }
-        };
-
-        let sid = txn.span_id();
-        let arrival = match source {
-            DataSource::L2 { provider, dirty: _ } => {
-                let p = provider.index();
-                self.stats.fills_from_l2 += 1;
-                self.stats.l2[p].interventions_provided += 1;
-                if let Some(f) = self.l2s[p].snarfed_lines.get_mut(&line.raw()) {
-                    if !f.used_for_intervention {
-                        f.used_for_intervention = true;
-                        self.stats.snarf.used_for_intervention += 1;
-                    }
-                }
-                // Provider-side state transition.
-                if txn.kind == TxnKind::ReadShared {
-                    if let Some(cur) = self.l2s[p].state_of(line) {
-                        self.l2s[p].set_state(line, cur.after_providing_shared());
-                    }
-                }
-                let p_agent = AgentId::L2(provider);
-                let t_seen_p = self.ring.combined_arrival(t_collect, p_agent);
-                self.spans.mark(sid, SpanPhase::SnoopWindow, t_seen_p);
-                let (p_wait, t_data) = self.l2s[p].array_srv.reserve_timed(t_seen_p);
-                self.spans
-                    .mark(sid, SpanPhase::PeerQueue, t_seen_p + p_wait);
-                self.spans.mark(sid, SpanPhase::PeerService, t_data);
-                self.ring.transfer_data(t_data, p_agent, src_agent)
-            }
-            DataSource::L3 { .. } => {
-                self.stats.fills_from_l3 += 1;
-                let t_seen_l3 = self.ring.combined_arrival(t_collect, AgentId::L3);
-                self.spans.mark(sid, SpanPhase::SnoopWindow, t_seen_l3);
-                let invalidate = txn.kind == TxnKind::ReadExclusive;
-                let i = txn.src.index();
-                let occ = self.cfg.l3_link_occupancy;
-                let delay = self.cfg.l3_link_delay;
-                let (ready, _st, l3_wait) = self
-                    .l3_for(i)
-                    .provide_read_timed(t_seen_l3, line, invalidate);
-                self.spans
-                    .mark(sid, SpanPhase::L3Queue, t_seen_l3 + l3_wait);
-                self.spans.mark(sid, SpanPhase::L3Service, ready);
-                let link = match self.cfg.l3_organization {
-                    L3Organization::SharedVictim => &mut self.l3_link,
-                    L3Organization::PrivatePerL2 => &mut self.private_l3_links[i],
-                };
-                link.reserve_for(ready, occ) + delay
-            }
-            DataSource::Memory => {
-                self.stats.fills_from_memory += 1;
-                let t_seen_m = self.ring.combined_arrival(t_collect, AgentId::Memory);
-                self.spans.mark(sid, SpanPhase::SnoopWindow, t_seen_m);
-                let (bank_wait, ready) = self.mem.read_timed(t_seen_m, line);
-                self.spans
-                    .mark(sid, SpanPhase::MemQueue, t_seen_m + bank_wait);
-                self.spans.mark(sid, SpanPhase::MemService, ready);
-                self.mem_link
-                    .reserve_for(ready, self.cfg.mem_link_occupancy)
-                    + self.cfg.mem_link_delay
-            }
-        };
-
-        if txn.kind == TxnKind::ReadExclusive {
-            let skip_l3 = matches!(source, DataSource::L3 { .. });
-            self.apply_invalidations(txn.src, line, skip_l3.then_some(()));
-        }
-
-        self.inbound_fills
-            .insert((txn.src.index() as u8, line.raw()));
-        let t_fill = arrival.max(t_seen);
-        self.spans.mark(sid, SpanPhase::DataReturn, t_fill);
-        self.spans
-            .finish(sid, SpanOutcome::Filled(source.fill_source()), t_fill);
-        if self.telemetry.is_enabled() {
-            let l2 = txn.src.index() as u32;
-            let latency = self
-                .miss_issue
-                .get(&(txn.src.index() as u8, line.raw()))
-                .map_or(0, |&t0| t_fill.saturating_sub(t0));
-            self.telemetry.emit(t_fill, || SimEvent::L2Fill {
-                l2,
-                line: line.raw(),
-                source: source.fill_source(),
-                latency,
-            });
-        }
-        self.queue.push(
-            t_fill,
-            Ev::Fill {
-                l2: txn.src,
-                line,
-                state: install,
-            },
-        );
-    }
-
-    /// Invalidates `line` in every L2 except `keeper`, in their L1s, in
-    /// peer write-back queues (the dirt, if any, has been claimed by the
-    /// requester), and in the L3 (unless the L3 already invalidated as
-    /// the data source, signalled by `l3_done`).
-    fn apply_invalidations(&mut self, keeper: L2Id, line: LineAddr, l3_done: Option<()>) {
-        for j in 0..self.l2s.len() {
-            if j == keeper.index() {
-                continue;
-            }
-            if self.l2s[j].invalidate(line).is_some() {
-                self.trace(line, &|| format!("invalidate L2#{j} (keeper {keeper})"));
-                self.invalidate_l1s_of(j, line);
-                self.finalize_snarf_flags(j, line);
-            }
-            if self.l2s[j].wbq.remove(line).is_some() {
-                // The entry was claimed; if its castout was in flight the
-                // pending bus event will notice the mismatch and move on.
-                self.l2s[j].castouts_inflight.remove(&line);
-            }
-        }
-        if l3_done.is_none() {
-            match self.cfg.l3_organization {
-                L3Organization::SharedVictim => self.l3.invalidate(line),
-                L3Organization::PrivatePerL2 => {
-                    // A stale copy may sit in any private L3 (the line
-                    // may have been cast out by a previous owner).
-                    for l3 in &mut self.private_l3s {
-                        l3.invalidate(line);
-                    }
-                }
-            }
-        }
-    }
-
-    fn invalidate_l1s_of(&mut self, l2_idx: usize, line: LineAddr) {
-        if self.l1s.is_empty() {
-            return;
-        }
-        let cores_per_l2 = self.cfg.cores as usize / self.cfg.num_l2 as usize;
-        for c in l2_idx * cores_per_l2..(l2_idx + 1) * cores_per_l2 {
-            self.l1s[c].invalidate(line);
-        }
-    }
-
-    fn finalize_snarf_flags(&mut self, l2_idx: usize, line: LineAddr) {
-        if let Some(f) = self.l2s[l2_idx].retire_snarf_flags(line) {
-            if !f.used_locally && !f.used_for_intervention {
-                self.stats.snarf.evicted_unused += 1;
-            }
-        }
-    }
-
-    /// Retry back-off with deterministic per-transaction jitter so
-    /// rejected transactions do not return in lockstep storms.
-    fn retry_delay(&self, txn: &BusTxn, attempt: u32) -> Cycle {
-        let base = self.cfg.retry_backoff;
-        let jitter = (txn
-            .id
-            .raw()
-            .wrapping_mul(7)
-            .wrapping_add(attempt as u64 * 13))
-            % base.max(1);
-        base + jitter
-    }
-
-    fn record_retry(&mut self, now: Cycle, l3_issued: bool) {
-        self.stats.retries_total += 1;
-        if l3_issued {
-            self.stats.retries_l3 += 1;
-        }
-        self.retry_switch.record_retry(now);
-    }
-
-    // --- castouts -----------------------------------------------------------
-
-    fn bus_issue_castout(&mut self, now: Cycle, txn: BusTxn, dirty: bool, attempt: u32) {
-        let i = txn.src.index();
-        let line = txn.line;
-        let sid = txn.span_id();
-        // The entry may have been claimed (RFO) or recovered since the
-        // drain picked it.
-        if !self.l2s[i].castouts_inflight.contains(&line) || !self.l2s[i].wbq.contains(line) {
-            self.spans.finish(sid, SpanOutcome::ResolvedLocal, now);
-            self.l2s[i].castouts_inflight.remove(&line);
-            self.queue.push(now, Ev::WbDrain(txn.src));
-            return;
-        }
-        // First attempt: the segment since span start is the drain-to-bus
-        // issue gap. Retries: back-off queueing.
-        if attempt == 0 {
-            self.spans.mark(sid, SpanPhase::Issue, now);
-        } else {
-            self.spans.mark(sid, SpanPhase::RetryBackoff, now);
-        }
-        if self.cfg.l3_organization == L3Organization::PrivatePerL2 {
-            self.private_castout(now, txn, dirty, attempt);
-            return;
-        }
-
-        if attempt == 0 {
-            if dirty {
-                self.stats.wb.dirty_requests += 1;
-            } else {
-                self.stats.wb.clean_requests += 1;
-            }
-            self.stats.wb_reuse.total += 1;
-            self.wb_pending.insert(line.raw(), false);
-            if let Some(t) = &mut self.snarf_table {
-                t.observe_writeback(line);
-            }
-            let snarf_eligible = txn.snarf_eligible;
-            self.telemetry.emit(now, || SimEvent::CastoutIssued {
-                l2: i as u32,
-                line: line.raw(),
-                dirty,
-                snarf_eligible,
-            });
-        } else {
-            self.stats.wb.retried_attempts += 1;
-        }
-
-        let src_agent = AgentId::L2(txn.src);
-        let (arb_wait, t_ring) = self.ring.issue_address_timed(now, src_agent);
-        self.spans.mark(sid, SpanPhase::RingArb, now + arb_wait);
-        self.spans.mark(sid, SpanPhase::RingTransit, t_ring);
-        let mut responses: Vec<SnoopResponse> = Vec::with_capacity(self.l2s.len() + 1);
-        let mut t_collect: Cycle = self.ring.response_at_collector(t_ring, src_agent);
-
-        // Every L2 snoops every address transaction (castouts included)
-        // in both the baseline and the snarf protocol — that is how a
-        // snoop-based system works, so the snoop-port cost is identical
-        // and the comparison fair. What the snarf protocol *adds* is the
-        // response: any peer holding the line squashes the write-back
-        // ("if a peer L2 cache snoops a write back request, and the line
-        // is already valid in the peer L2, the actual write back
-        // operation is squashed", §5.2), and for snarf-eligible castouts
-        // (reuse-table hit with the use bit — the gate that limits the
-        // *victim-allocation* work, §3) a peer with a free or
-        // Shared-state way and a free line-fill buffer offers to absorb
-        // the line.
-        for j in 0..self.l2s.len() {
-            if j == i {
-                continue;
-            }
-            let agent = AgentId::L2(L2Id::new(j as u8));
-            let t_sn = self.ring.snoop_arrival(t_ring, src_agent, agent);
-            let t_resp = self.snoop_port(j, t_sn);
-            let id = L2Id::new(j as u8);
-            let resp = if !self.cfg.policy.has_snarf() {
-                // Baseline: peers observe castouts but stay silent.
-                SnoopResponse::Null
-            } else if self.l2s[j].state_of(line).is_some() || self.l2s[j].wbq.contains(line) {
-                SnoopResponse::PeerHasCopy(id)
-            } else if txn.snarf_eligible
-                && self.l2s[j].snarf_victim(line).is_some()
-                && self.l2s[j].try_reserve_snarf_buffer(t_sn, line, self.cfg.snarf_buffer_hold)
-            {
-                SnoopResponse::SnarfAccept(id)
-            } else {
-                SnoopResponse::Null
-            };
-            t_collect = t_collect.max(self.ring.response_at_collector(t_resp, agent));
-            responses.push(resp);
-        }
-        // L3 snoop.
-        {
-            let t_sn = self.ring.snoop_arrival(t_ring, src_agent, AgentId::L3);
-            let resp = self.l3.snoop_castout(t_sn, line, dirty);
-            let t_resp = t_sn + self.cfg.l2_snoop_cycles;
-            t_collect = t_collect.max(self.ring.response_at_collector(t_resp, AgentId::L3));
-            responses.push(resp);
-        }
-
-        let combined = self.collector.combine(&txn, &responses);
-        let t_seen = self.ring.combined_arrival(t_collect, src_agent);
-        self.spans.mark(sid, SpanPhase::SnoopWindow, t_seen);
-
-        let outcome = match combined {
-            CombinedResponse::Retry { l3_issued } => {
-                self.record_retry(t_seen, l3_issued);
-                self.queue.push(
-                    t_seen + self.retry_delay(&txn, attempt),
-                    Ev::BusIssue {
-                        txn,
-                        origin: Origin::Castout { dirty },
-                        attempt: attempt + 1,
-                    },
-                );
-                return;
-            }
-            CombinedResponse::Wb(o) => o,
-            other => unreachable!("read response {other:?} to a castout"),
-        };
-
-        self.trace(line, &|| {
-            format!("castout {} from {} outcome {outcome:?}", txn.kind, txn.src)
-        });
-        if txn.snarf_eligible {
-            let winner = match outcome {
-                WbOutcome::SnarfedBy(p) => Some(p.index() as u32),
-                _ => None,
-            };
-            if let Some(t) = &self.snarf_table {
-                t.record_arbitration(t_seen, i as u32, line, winner);
-            }
-        }
-        match outcome {
-            WbOutcome::SquashedAlreadyInL3 => {
-                self.spans.finish(sid, SpanOutcome::Squashed, t_seen);
-                self.stats.wb.clean_squashed_l3 += 1;
-                self.telemetry.emit(t_seen, || SimEvent::CastoutSquashed {
-                    l2: i as u32,
-                    line: line.raw(),
-                    reason: SquashReason::AlreadyInL3,
-                });
-                self.note_redundant_clean_wb(t_seen, txn.src, line);
-            }
-            WbOutcome::SquashedPeerHasCopy(p) => {
-                self.spans.finish(sid, SpanOutcome::Squashed, t_seen);
-                self.stats.wb.squashed_peer += 1;
-                self.telemetry.emit(t_seen, || SimEvent::CastoutSquashed {
-                    l2: i as u32,
-                    line: line.raw(),
-                    reason: SquashReason::PeerHasCopy,
-                });
-                if dirty {
-                    // Ownership transfer: the peer's clean copy becomes
-                    // the dirty owner without a data transfer.
-                    let pj = p.index();
-                    if let Some(cur) = self.l2s[pj].state_of(line) {
-                        if !cur.is_dirty() {
-                            self.l2s[pj].set_state(line, L2State::Tagged);
-                        }
-                    }
-                }
-            }
-            WbOutcome::SnarfedBy(p) => {
-                self.stats.wb.snarfed += 1;
-                self.telemetry.emit(t_seen, || SimEvent::CastoutSnarfed {
-                    l2: i as u32,
-                    by: p.index() as u32,
-                    line: line.raw(),
-                });
-                self.inbound_snarfs.insert((p.index() as u8, line.raw()));
-                let arrival = self.ring.transfer_data(t_seen, src_agent, AgentId::L2(p));
-                self.spans.mark(sid, SpanPhase::DataReturn, arrival);
-                self.spans.finish(sid, SpanOutcome::Snarfed, arrival);
-                self.queue
-                    .push(arrival, Ev::SnarfFill { l2: p, line, dirty });
-            }
-            WbOutcome::AcceptedByL3 { .. } => {
-                let t_arr = self.l3_link.reserve_for(t_seen, self.cfg.l3_link_occupancy)
-                    + self.cfg.l3_link_delay;
-                self.spans.mark(sid, SpanPhase::DataReturn, t_arr);
-                match self.l3.accept_castout_timed(t_arr, line, dirty) {
-                    Some((done, victim, l3_wait)) => {
-                        self.spans.mark(sid, SpanPhase::L3Queue, t_arr + l3_wait);
-                        self.spans.mark(sid, SpanPhase::L3Service, done);
-                        self.spans.finish(sid, SpanOutcome::AcceptedL3, done);
-                        self.stats.wb.accepted_l3 += 1;
-                        self.telemetry.emit(t_arr, || SimEvent::CastoutAccepted {
-                            l2: i as u32,
-                            line: line.raw(),
-                        });
-                        if let Some(acc) = self.wb_pending.get_mut(&line.raw()) {
-                            *acc = true;
-                        }
-                        self.stats.wb_reuse.accepted += 1;
-                        if let Some(v) = victim {
-                            self.mem.write(done, v);
-                        }
-                    }
-                    None => {
-                        // Queue filled between snoop and data arrival.
-                        self.record_retry(t_arr, true);
-                        self.queue.push(
-                            t_arr + self.retry_delay(&txn, attempt),
-                            Ev::BusIssue {
-                                txn,
-                                origin: Origin::Castout { dirty },
-                                attempt: attempt + 1,
-                            },
-                        );
-                        return;
-                    }
-                }
-            }
-        }
-
-        // Resolution: retire the entry and continue draining.
-        self.l2s[i].wbq.remove(line);
-        self.l2s[i].castouts_inflight.remove(&line);
-        self.queue.push(t_seen + 1, Ev::WbDrain(txn.src));
-    }
-
-    /// Castout over a dedicated private-L3 bus (§7 organization): no
-    /// ring address phase, no peer snoops, no Snoop Collector — and
-    /// therefore no snarfing. The WBHT still learns from the private
-    /// bus's squash responses.
-    fn private_castout(&mut self, now: Cycle, txn: BusTxn, dirty: bool, attempt: u32) {
-        let i = txn.src.index();
-        let line = txn.line;
-        let sid = txn.span_id();
-        if attempt == 0 {
-            if dirty {
-                self.stats.wb.dirty_requests += 1;
-            } else {
-                self.stats.wb.clean_requests += 1;
-            }
-            self.stats.wb_reuse.total += 1;
-            self.wb_pending.insert(line.raw(), false);
-            self.telemetry.emit(now, || SimEvent::CastoutIssued {
-                l2: i as u32,
-                line: line.raw(),
-                dirty,
-                snarf_eligible: false,
-            });
-        } else {
-            self.stats.wb.retried_attempts += 1;
-        }
-        let occ = self.cfg.l3_link_occupancy;
-        let delay = self.cfg.l3_link_delay;
-        let arrive = self.private_l3_links[i].reserve_for(now, occ) + delay;
-        self.spans.mark(sid, SpanPhase::DataReturn, arrive);
-        let resp = self.l3_for(i).snoop_castout(arrive, line, dirty);
-        self.trace(line, &|| {
-            format!("private castout from {} -> {resp:?}", txn.src)
-        });
-        match resp {
-            SnoopResponse::L3Hit(_) if !dirty => {
-                self.spans.finish(sid, SpanOutcome::Squashed, arrive);
-                self.stats.wb.clean_squashed_l3 += 1;
-                self.telemetry.emit(arrive, || SimEvent::CastoutSquashed {
-                    l2: i as u32,
-                    line: line.raw(),
-                    reason: SquashReason::AlreadyInL3,
-                });
-                self.note_redundant_clean_wb(arrive, txn.src, line);
-            }
-            SnoopResponse::L3Hit(_) | SnoopResponse::L3Accept => {
-                match self.l3_for(i).accept_castout_timed(arrive, line, dirty) {
-                    Some((done, victim, l3_wait)) => {
-                        self.spans.mark(sid, SpanPhase::L3Queue, arrive + l3_wait);
-                        self.spans.mark(sid, SpanPhase::L3Service, done);
-                        self.spans.finish(sid, SpanOutcome::AcceptedL3, done);
-                        self.stats.wb.accepted_l3 += 1;
-                        self.telemetry.emit(arrive, || SimEvent::CastoutAccepted {
-                            l2: i as u32,
-                            line: line.raw(),
-                        });
-                        if let Some(acc) = self.wb_pending.get_mut(&line.raw()) {
-                            *acc = true;
-                        }
-                        self.stats.wb_reuse.accepted += 1;
-                        if let Some(v) = victim {
-                            self.mem.write(done, v);
-                        }
-                    }
-                    None => {
-                        self.record_retry(arrive, true);
-                        self.queue.push(
-                            arrive + self.retry_delay(&txn, attempt),
-                            Ev::BusIssue {
-                                txn,
-                                origin: Origin::Castout { dirty },
-                                attempt: attempt + 1,
-                            },
-                        );
-                        return;
-                    }
-                }
-            }
-            SnoopResponse::L3Retry => {
-                self.record_retry(arrive, true);
-                self.queue.push(
-                    arrive + self.retry_delay(&txn, attempt),
-                    Ev::BusIssue {
-                        txn,
-                        origin: Origin::Castout { dirty },
-                        attempt: attempt + 1,
-                    },
-                );
-                return;
-            }
-            other => unreachable!("private L3 castout response {other:?}"),
-        }
-        self.l2s[i].wbq.remove(line);
-        self.l2s[i].castouts_inflight.remove(&line);
-        self.queue.push(arrive + 1, Ev::WbDrain(txn.src));
-    }
-
-    /// WBHT allocation on an L3-squashed clean write-back (§2 step 3),
-    /// honouring the update scope (§2.2 / Figure 3).
-    fn note_redundant_clean_wb(&mut self, now: Cycle, src: L2Id, line: LineAddr) {
-        let scope = match &self.cfg.policy {
-            PolicyConfig::Wbht(w) => Some(w.scope),
-            PolicyConfig::Combined(w, _) => Some(w.scope),
-            _ => None,
-        };
-        match scope {
-            None => {}
-            Some(UpdateScope::Local) => {
-                if let Some(w) = &mut self.l2s[src.index()].wbht {
-                    w.note_redundant(now, line);
-                }
-            }
-            Some(UpdateScope::Global) => {
-                for l2 in &mut self.l2s {
-                    if let Some(w) = &mut l2.wbht {
-                        w.note_redundant(now, line);
-                    }
-                }
-            }
-        }
-    }
-
-    fn handle_wb_drain(&mut self, now: Cycle, l2id: L2Id) {
-        let i = l2id.index();
-        loop {
-            if self.l2s[i].castouts_inflight.len() >= self.cfg.castout_inflight_max {
-                return;
-            }
-            // Oldest entry not already on the bus.
-            let next = {
-                let inflight = &self.l2s[i].castouts_inflight;
-                let mut found = None;
-                for k in 0.. {
-                    // Scan queue order via front-relative probing.
-                    let Some(e) = self.l2s[i].wbq.nth(k) else {
-                        break;
-                    };
-                    if !inflight.contains(&e.line) {
-                        found = Some(*e);
-                        break;
-                    }
-                }
-                found
-            };
-            let Some(entry) = next else {
-                self.l2s[i].draining = !self.l2s[i].castouts_inflight.is_empty();
-                return;
-            };
-            // WBHT filtering: consulted off the miss path, after the
-            // victim entered the queue (§2).
-            if !entry.dirty && self.cfg.policy.has_wbht() {
-                let engaged = self.retry_switch.engaged(now);
-                let in_l3 = match self.cfg.l3_organization {
-                    L3Organization::SharedVictim => self.l3.peek(entry.line),
-                    L3Organization::PrivatePerL2 => self.private_l3s[i].peek(entry.line),
-                };
-                let abort = self.l2s[i]
-                    .wbht
-                    .as_mut()
-                    .expect("wbht policy implies table")
-                    .should_abort(now, entry.line, engaged, in_l3);
-                if abort {
-                    self.l2s[i].wbq.remove(entry.line);
-                    self.stats.wb.clean_aborted += 1;
-                    self.telemetry.emit(now, || SimEvent::CastoutAborted {
-                        l2: i as u32,
-                        line: entry.line.raw(),
-                    });
-                    continue;
-                }
-            }
-            let eligible = match &mut self.snarf_table {
-                Some(t) => t.check_eligible(entry.line),
-                None => false,
-            };
-            let mut txn = BusTxn::new(
-                self.txn_seq.bump(),
-                if entry.dirty {
-                    TxnKind::CastoutDirty
-                } else {
-                    TxnKind::CastoutClean
-                },
-                entry.line,
-                l2id,
-            );
-            if eligible {
-                txn = txn.with_snarf();
-            }
-            self.spans.start(
-                txn.span_id(),
-                txn.span_kind(),
-                i as u32,
-                entry.line.raw(),
-                now,
-            );
-            self.l2s[i].castouts_inflight.insert(entry.line);
-            self.l2s[i].draining = true;
-            self.queue.push(
-                now + 1,
-                Ev::BusIssue {
-                    txn,
-                    origin: Origin::Castout { dirty: entry.dirty },
-                    attempt: 0,
-                },
-            );
-            // Loop: issue more if the concurrency limit allows.
-        }
-    }
-
-    // --- fills --------------------------------------------------------------
-
-    fn handle_fill(&mut self, now: Cycle, l2id: L2Id, line: LineAddr, state: L2State) {
-        let i = l2id.index();
-        if self.l2s[i].state_of(line).is_some() {
-            self.inbound_fills.remove(&(i as u8, line.raw()));
-            // Upgrade completion, or the line arrived by other means.
-            if state == L2State::Modified {
-                self.l2s[i].set_state(line, L2State::Modified);
-                // Claim any copy that slipped in since the upgrade's
-                // combined response.
-                self.apply_invalidations(l2id, line, Some(()));
-            }
-            self.l2s[i].touch(line);
-            self.complete_miss(now, l2id, line);
-            return;
-        }
-        // A fill that must evict needs write-back queue space (§2.1:
-        // a full queue blocks L2 misses). The inbound-fill marker stays
-        // set while the fill is blocked — the line is still in transit
-        // and snoops must keep retrying against it.
-        if self.l2s[i].wbq.is_full() && !self.l2s[i].has_invalid_way(line) {
-            self.queue.push(
-                now + 8,
-                Ev::Fill {
-                    l2: l2id,
-                    line,
-                    state,
-                },
-            );
-            return;
-        }
-        self.inbound_fills.remove(&(i as u8, line.raw()));
-        let state = self.sanitize_install(i, line, state);
-        self.trace(line, &|| format!("fill {l2id} install={state}"));
-        if state == L2State::Modified {
-            // Late-claim any stale copies that slipped in between the
-            // combined response and this fill (e.g. a snarf landing).
-            self.apply_invalidations(l2id, line, Some(()));
-        }
-        let evicted = if self.cfg.history_aware_replacement {
-            self.l2s[i].fill_history_aware(line, state, InsertPosition::Mru, 4)
-        } else {
-            self.l2s[i].fill(line, state, InsertPosition::Mru)
-        };
-        if let Some((vline, vst)) = evicted {
-            self.on_l2_eviction(now, i, vline, vst);
-        }
-        self.complete_miss(now, l2id, line);
-    }
-
-    /// Downgrades an install state that a concurrent snarf or fill has
-    /// made stale (the combined response was computed before the other
-    /// line movement landed). Keeps the E/SL-uniqueness invariants.
-    fn sanitize_install(&self, i: usize, line: LineAddr, state: L2State) -> L2State {
-        if !matches!(state, L2State::Exclusive | L2State::SharedLast) {
-            return state;
-        }
-        let mut peer_any = false;
-        let mut peer_intervener = false;
-        for (j, l2) in self.l2s.iter().enumerate() {
-            if j == i {
-                continue;
-            }
-            if let Some(st) = l2.state_of(line) {
-                peer_any = true;
-                if st.can_intervene() {
-                    peer_intervener = true;
-                }
-            }
-        }
-        match state {
-            L2State::Exclusive if peer_any => {
-                if peer_intervener {
-                    L2State::Shared
-                } else {
-                    L2State::SharedLast
-                }
-            }
-            L2State::SharedLast if peer_intervener => L2State::Shared,
-            other => other,
-        }
-    }
-
-    fn on_l2_eviction(&mut self, now: Cycle, i: usize, vline: LineAddr, vst: L2State) {
-        self.trace(vline, &|| format!("evict L2#{i} state={vst} -> wbq"));
-        self.invalidate_l1s_of(i, vline);
-        self.finalize_snarf_flags(i, vline);
-        let pushed = self.l2s[i].wbq.push(cmpsim_cache::WbEntry {
-            line: vline,
-            dirty: vst.is_dirty(),
-        });
-        debug_assert!(pushed, "wbq overflow despite fill gating");
-        if self.l2s[i].castouts_inflight.len() < self.cfg.castout_inflight_max {
-            self.queue.push(
-                now.max(self.queue.now()) + 1,
-                Ev::WbDrain(L2Id::new(i as u8)),
-            );
-        }
-    }
-
-    fn complete_miss(&mut self, now: Cycle, l2id: L2Id, line: LineAddr) {
-        let i = l2id.index();
-        if let Some(t0) = self.miss_issue.remove(&(i as u8, line.raw())) {
-            self.stats.miss_latency.add(now.saturating_sub(t0));
-        }
-        let Some(waiters) = self.l2s[i].mshrs.complete(line) else {
-            return;
-        };
-        for t in waiters {
-            let ti = t.index();
-            self.threads[ti].outstanding = self.threads[ti].outstanding.saturating_sub(1);
-            if !self.l1s.is_empty() {
-                let core = self.cfg.core_of_thread(t);
-                self.l1s[core].fill(line);
-            }
-            match self.threads[ti].park {
-                Park::Outstanding => {
-                    self.threads[ti].park = Park::Running;
-                    let at = self.threads[ti].next_time.max(now);
-                    self.queue.push(at, Ev::ThreadStep(t));
-                }
-                Park::Done => self.note_possible_completion(now, t),
-                _ => {}
-            }
-        }
-        // An MSHR freed: wake threads blocked on exhaustion.
-        let waiting = std::mem::take(&mut self.l2s[i].waiting_threads);
-        for t in waiting {
-            let ti = t.index();
-            if self.threads[ti].park == Park::MshrFull {
-                self.threads[ti].park = Park::Running;
-                let at = self.threads[ti].next_time.max(now);
-                self.queue.push(at, Ev::ThreadStep(t));
-            }
-        }
-    }
-
-    fn handle_snarf_fill(&mut self, now: Cycle, l2id: L2Id, line: LineAddr, dirty: bool) {
-        let i = l2id.index();
-        self.inbound_snarfs.remove(&(i as u8, line.raw()));
-        if self.l2s[i].state_of(line).is_some() {
-            return;
-        }
-        // A peer may have re-fetched the line since the castout snooped
-        // (combined responses are not atomic with data movement): if so,
-        // the snarf is stale — drop clean data, forward dirty to the L3.
-        let peer_has_copy = (0..self.l2s.len()).any(|j| {
-            j != i
-                && (self.l2s[j].state_of(line).is_some()
-                    || self.l2s[j].wbq.contains(line)
-                    || self.inbound_fills.contains(&(j as u8, line.raw())))
-        });
-        match (!peer_has_copy)
-            .then(|| self.l2s[i].snarf_victim(line))
-            .flatten()
-        {
-            Some(way) => {
-                let st = if dirty {
-                    L2State::Modified
-                } else {
-                    L2State::SharedLast
-                };
-                if let Some((vline, vst)) =
-                    self.l2s[i].snarf_insert(line, way, st, self.snarf_insert_pos)
-                {
-                    // Victims are Invalid or plain Shared: droppable.
-                    debug_assert!(!vst.is_dirty(), "snarf displaced dirty line");
-                    self.invalidate_l1s_of(i, vline);
-                    self.finalize_snarf_flags(i, vline);
-                }
-                self.trace(line, &|| format!("snarf-fill L2#{i}"));
-                self.l2s[i]
-                    .snarfed_lines
-                    .insert(line.raw(), SnarfFlags::default());
-                self.stats.snarf.snarfed += 1;
-                self.stats.l2[i].snarfs_accepted += 1;
-            }
-            None => {
-                // Resources changed since the snoop; fall back to the L3
-                // (dirty data must not be dropped).
-                if dirty {
-                    match self.l3.accept_castout(now, line, true) {
-                        Some((done, victim)) => {
-                            if let Some(v) = victim {
-                                self.mem.write(done, v);
-                            }
-                        }
-                        None => {
-                            self.mem.write(now, line);
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    // --- completion ---------------------------------------------------------
-
-    fn note_possible_completion(&mut self, now: Cycle, t: ThreadId) {
-        let ti = t.index();
-        if self.threads[ti].finished() && self.threads[ti].completed_at.is_none() {
-            self.threads[ti].completed_at = Some(now.max(self.threads[ti].next_time));
-        }
-    }
-
-    fn finalize_stats(&mut self) {
-        self.stats.cycles = self
-            .threads
-            .iter()
-            .map(|t| t.completed_at.unwrap_or(t.next_time))
-            .max()
-            .unwrap_or(0);
-        self.stats.mshr_high_water = self
-            .l2s
-            .iter()
-            .map(|l2| l2.mshrs.high_water() as u64)
-            .max()
-            .unwrap_or(0)
-            .max(self.stats.mshr_high_water);
-        self.stats.wbq_high_water = self
-            .l2s
-            .iter()
-            .map(|l2| l2.wbq.high_water() as u64)
-            .max()
-            .unwrap_or(0)
-            .max(self.stats.wbq_high_water);
-        self.stats.event_queue_high_water = self
-            .stats
-            .event_queue_high_water
-            .max(self.queue.high_water() as u64);
-        // Snarfed lines still resident and unused count as unused.
-        let mut still_unused = 0;
-        for l2 in &self.l2s {
-            for f in l2.snarfed_lines.values() {
-                if !f.used_locally && !f.used_for_intervention {
-                    still_unused += 1;
-                }
-            }
-        }
-        self.stats.snarf.evicted_unused += still_unused;
-    }
-}
-
-fn all_lines(l2: &L2Unit) -> Vec<LineAddr> {
-    // Reconstructs resident global line addresses via the snarf-victim
-    // helper path; exposed only for invariant checking, so a slow path
-    // through the public surface is fine.
-    l2.resident_lines()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::policy::{SnarfConfig, WbhtConfig};
-    use cmpsim_trace::{SegmentMix, WorkloadParams};
-
-    fn tiny_workload() -> WorkloadParams {
-        WorkloadParams {
-            name: "unit".into(),
-            line_bytes: 128,
-            threads: 16,
-            issue_interval: 1,
-            mix: SegmentMix {
-                private: 0.5,
-                bounce: 0.2,
-                rotor: 0.1,
-                shared: 0.1,
-                migratory: 0.05,
-                streaming: 0.05,
-            },
-            private_lines: 64,
-            private_theta: 2.0,
-            private_store_frac: 0.2,
-            bounce_lines: 256,
-            bounce_group_threads: 4,
-            bounce_cross_frac: 0.2,
-            bounce_theta: 1.5,
-            bounce_store_frac: 0.1,
-            rotor_lines: 128,
-            rotor_store_frac: 0.2,
-            shared_lines: 64,
-            shared_theta: 1.5,
-            shared_store_frac: 0.05,
-            migratory_lines: 32,
-            migratory_rmw_frac: 0.8,
-        }
-    }
-
-    fn system(policy: PolicyConfig) -> System {
-        let mut cfg = SystemConfig::scaled(16);
-        cfg.policy = policy;
-        cfg.max_outstanding = 4;
-        System::new(cfg, tiny_workload()).unwrap()
-    }
-
-    #[test]
-    fn sanitize_demotes_exclusive_against_peers() {
-        let mut sys = system(PolicyConfig::Baseline);
-        let line = LineAddr::new(100);
-        sys.l2s[0].fill(line, L2State::SharedLast, InsertPosition::Mru);
-        // Installing E at L2#1 while L2#0 holds an intervener: demote to S.
-        assert_eq!(
-            sys.sanitize_install(1, line, L2State::Exclusive),
-            L2State::Shared
-        );
-        // SL against an SL holder also demotes.
-        assert_eq!(
-            sys.sanitize_install(1, line, L2State::SharedLast),
-            L2State::Shared
-        );
-        // Against a plain-S holder, E demotes to SL (keeps intervention).
-        sys.l2s[0].set_state(line, L2State::Shared);
-        assert_eq!(
-            sys.sanitize_install(1, line, L2State::Exclusive),
-            L2State::SharedLast
-        );
-        // With no peers at all, E survives.
-        sys.l2s[0].invalidate(line);
-        assert_eq!(
-            sys.sanitize_install(1, line, L2State::Exclusive),
-            L2State::Exclusive
-        );
-    }
-
-    #[test]
-    fn retry_delay_is_jittered_and_bounded() {
-        let sys = system(PolicyConfig::Baseline);
-        let mut txn_seq = TxnId::ZERO;
-        let base = sys.cfg.retry_backoff;
-        let mut delays = std::collections::HashSet::new();
-        for attempt in 0..8 {
-            let txn = BusTxn::new(
-                txn_seq.bump(),
-                TxnKind::ReadShared,
-                LineAddr::new(4),
-                L2Id::new(0),
-            );
-            let d = sys.retry_delay(&txn, attempt);
-            assert!(
-                d >= base && d < 2 * base,
-                "delay {d} out of [{base}, {})",
-                2 * base
-            );
-            delays.insert(d);
-        }
-        assert!(delays.len() > 1, "no jitter across transactions");
-    }
-
-    #[test]
-    fn apply_invalidations_clears_tags_queues_and_l1s() {
-        let mut sys = system(PolicyConfig::Baseline);
-        let line = LineAddr::new(64);
-        sys.l2s[1].fill(line, L2State::Shared, InsertPosition::Mru);
-        sys.l2s[2]
-            .wbq
-            .push(cmpsim_cache::WbEntry { line, dirty: false });
-        sys.l1s[2].fill(line); // core 2 belongs to L2#1
-        sys.apply_invalidations(L2Id::new(0), line, None);
-        assert_eq!(sys.l2s[1].state_of(line), None);
-        assert!(!sys.l2s[2].wbq.contains(line));
-        assert!(!sys.l1s[2].load(line));
-        assert!(!sys.l3.peek(line));
-    }
-
-    #[test]
-    fn global_scope_notes_redundant_in_every_table() {
-        let mut sys = system(PolicyConfig::Wbht(WbhtConfig {
-            entries: 256,
-            assoc: 16,
-            scope: UpdateScope::Global,
-            granularity: 1,
-        }));
-        let line = LineAddr::new(16);
-        sys.note_redundant_clean_wb(0, L2Id::new(0), line);
-        for l2 in &sys.l2s {
-            assert!(l2.wbht.as_ref().unwrap().knows(line));
-        }
-        // Local scope: only the writer's table.
-        let mut sys = system(PolicyConfig::Wbht(WbhtConfig {
-            entries: 256,
-            assoc: 16,
-            scope: UpdateScope::Local,
-            granularity: 1,
-        }));
-        sys.note_redundant_clean_wb(0, L2Id::new(2), line);
-        for (i, l2) in sys.l2s.iter().enumerate() {
-            assert_eq!(l2.wbht.as_ref().unwrap().knows(line), i == 2);
-        }
-    }
-
-    #[test]
-    fn upgrades_happen_under_rmw_traffic() {
-        let mut sys = system(PolicyConfig::Baseline);
-        let stats = sys.run(2_000);
-        assert!(stats.upgrades > 0, "migratory RMW must trigger upgrades");
-        assert!(
-            stats.fills_from_l2 > 0,
-            "RMW lines must migrate via interventions"
-        );
-        sys.check_invariants();
-    }
-
-    #[test]
-    fn snoop_port_is_pipelined() {
-        let mut sys = system(PolicyConfig::Baseline);
-        let a = sys.snoop_port(1, 100);
-        let b = sys.snoop_port(1, 100);
-        // Latency is full for both, but the port only serializes by the
-        // initiation interval, not the full lookup.
-        assert_eq!(a, 100 + sys.cfg.l2_snoop_cycles);
-        assert_eq!(b, a + sys.cfg.l2_snoop_occupancy);
-    }
-
-    #[test]
-    fn private_l3_partitions_are_separate() {
-        let mut cfg = SystemConfig::scaled(16);
-        cfg.l3_organization = L3Organization::PrivatePerL2;
-        let mut sys = System::with_source(
-            cfg,
-            Box::new(cmpsim_trace::TracePlayback::new("idle", vec![], 16, 1)),
-        )
-        .unwrap();
-        assert_eq!(sys.private_l3s.len(), 4);
-        let line = LineAddr::new(8);
-        sys.l3_for(0).accept_castout(0, line, false);
-        assert!(sys.private_l3s[0].peek(line));
-        assert!(!sys.private_l3s[1].peek(line));
-        let agg = sys.l3_stats();
-        assert_eq!(agg.castouts_accepted, 1);
-    }
-
-    #[test]
-    fn run_twice_continues_with_warm_caches() {
-        let mut sys = system(PolicyConfig::Baseline);
-        let cold = sys.run(800);
-        let warm = sys.run(800);
-        // The second run re-processes the same per-thread budget on the
-        // same (monotonic) clock...
-        assert_eq!(warm.refs, cold.refs + 800 * 16);
-        assert!(warm.cycles > cold.cycles);
-        // ...and the warm increment is no slower than the cold run.
-        assert!(warm.cycles - cold.cycles <= cold.cycles);
-        sys.check_invariants();
-    }
-
-    #[test]
-    fn snarf_policy_builds_table_and_buffers() {
-        let sys = system(PolicyConfig::Snarf(SnarfConfig {
-            entries: 256,
-            ..Default::default()
-        }));
-        assert!(sys.snarf_table.is_some());
-        assert!(sys.snarf_table_stats().is_some());
     }
 }

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod interval;
 pub mod metrics;
 mod queue;
 mod resource;

@@ -28,4 +28,44 @@ if ! git diff --exit-code -- tests/golden >/dev/null; then
     exit 1
 fi
 
+echo "==> source files stay under 900 lines"
+# Monolith guard: the System decomposition must not silently regrow.
+# Exempt files list a reason; everything else in src/ trees is capped.
+max_lines=900
+exempt=""  # e.g. "crates/foo/src/big_table.rs" (space-separated)
+oversized=0
+while IFS= read -r f; do
+    case " $exempt " in *" $f "*) continue ;; esac
+    lines=$(wc -l < "$f")
+    if [ "$lines" -gt "$max_lines" ]; then
+        echo "verify: $f has $lines lines (cap $max_lines)" >&2
+        oversized=1
+    fi
+done < <(find src crates -path '*/src/*' -name '*.rs' | sort)
+if [ "$oversized" -ne 0 ]; then
+    echo "verify: FAILED — split oversized modules (or add to the exemption list with a reason)" >&2
+    exit 1
+fi
+
+echo "==> parallel experiment driver is a pure wall-clock optimization"
+# Smoke-profile exp_all serial vs parallel: identical numbers, and the
+# parallel run must actually be parallel (faster on multi-core hosts).
+smoke_serial=$(mktemp)
+smoke_par=$(mktemp)
+trap 'rm -f "$smoke_serial" "$smoke_par"' EXIT
+t0=$(date +%s.%N)
+CMPSIM_PROFILE=smoke ./target/release/exp_all --jobs 1 > "$smoke_serial"
+t1=$(date +%s.%N)
+CMPSIM_PROFILE=smoke ./target/release/exp_all --jobs "$(nproc)" > "$smoke_par"
+t2=$(date +%s.%N)
+# Per-experiment wall-clock lines differ by construction; strip them.
+if ! diff <(grep -v '^(.*s)$' "$smoke_serial") <(grep -v '^(.*s)$' "$smoke_par") >/dev/null; then
+    diff <(grep -v '^(.*s)$' "$smoke_serial") <(grep -v '^(.*s)$' "$smoke_par") | head -20 >&2
+    echo "verify: FAILED — exp_all --jobs $(nproc) diverged from --jobs 1" >&2
+    exit 1
+fi
+serial_s=$(echo "$t1 $t0" | awk '{printf "%.1f", $1 - $2}')
+par_s=$(echo "$t2 $t1" | awk '{printf "%.1f", $1 - $2}')
+echo "    serial ${serial_s}s, parallel ${par_s}s ($(nproc) jobs)"
+
 echo "verify: OK"

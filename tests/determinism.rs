@@ -1,0 +1,58 @@
+//! Reproducibility guarantees: identical specs must replay
+//! byte-identical reports, with every stochastic knob (workload seed,
+//! retry-jitter salt) explicit in the spec.
+
+use cmp_hierarchies::adaptive::{run, PolicyConfig, RunSpec, SnarfConfig, SystemConfig};
+use cmp_hierarchies::trace::Workload;
+
+fn spec_with_seeds(workload_seed: u64, jitter_seed: u64) -> RunSpec {
+    let mut cfg = SystemConfig::scaled(16);
+    cfg.policy = PolicyConfig::Snarf(SnarfConfig {
+        entries: 512,
+        ..Default::default()
+    });
+    cfg.max_outstanding = 6;
+    cfg.seed = workload_seed;
+    cfg.retry_jitter_seed = jitter_seed;
+    RunSpec::for_workload(cfg, Workload::Trade2, 1_500)
+}
+
+// Specs must be shippable to worker threads (the parallel grid driver
+// relies on it).
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<RunSpec>();
+};
+
+#[test]
+fn identical_specs_replay_byte_identical_reports() {
+    let a = run(spec_with_seeds(0xBEEF, 0)).unwrap();
+    let b = run(spec_with_seeds(0xBEEF, 0)).unwrap();
+    assert_eq!(a.to_json(), b.to_json());
+    assert_eq!(a.to_csv(), b.to_csv());
+}
+
+#[test]
+fn workload_seed_is_a_real_knob() {
+    let a = run(spec_with_seeds(1, 0)).unwrap();
+    let b = run(spec_with_seeds(2, 0)).unwrap();
+    assert_ne!(
+        a.to_json(),
+        b.to_json(),
+        "different workload seeds must explore different streams"
+    );
+}
+
+#[test]
+fn jitter_seed_reproduces_and_perturbs() {
+    // Same jitter seed: byte-identical.
+    let a = run(spec_with_seeds(7, 42)).unwrap();
+    let b = run(spec_with_seeds(7, 42)).unwrap();
+    assert_eq!(a.to_json(), b.to_json());
+    // The salt only shifts retry back-off timing, so end-to-end work is
+    // conserved regardless of the seed.
+    let c = run(spec_with_seeds(7, 0)).unwrap();
+    assert_eq!(a.stats.refs, c.stats.refs);
+    assert_eq!(a.stats.loads, c.stats.loads);
+    assert_eq!(a.stats.stores, c.stats.stores);
+}

@@ -86,7 +86,7 @@ proptest! {
         prop_assert_eq!(stats.refs, refs * 16);
         prop_assert!(stats.cycles > 0);
         prop_assert_eq!(stats.loads + stats.stores, stats.refs);
-        sys.check_invariants();
+        sys.assert_invariants();
         // Castout outcome accounting can never exceed issued requests.
         let outcomes = stats.wb.clean_squashed_l3
             + stats.wb.squashed_peer

@@ -80,7 +80,7 @@ impl Scenario {
         let playback = TracePlayback::new("scenario", self.records.clone(), 16, 1);
         let mut sys = System::with_source(cfg, Box::new(playback)).unwrap();
         sys.run(self.refs_per_thread);
-        sys.check_invariants();
+        sys.assert_invariants();
         sys
     }
 }
@@ -248,5 +248,5 @@ fn private_l3_keeps_castouts_out_of_the_ring() {
         stats.wb.accepted_l3 >= 1,
         "private L3 must absorb the castout"
     );
-    sys.check_invariants();
+    sys.assert_invariants();
 }

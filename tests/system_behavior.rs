@@ -87,7 +87,7 @@ fn coherence_invariants_hold_for_every_policy() {
             let params = wl.params(cfg.num_threads(), cfg.cache_scale());
             let mut sys = System::new(cfg, params).unwrap();
             sys.run(3_000);
-            sys.check_invariants(); // panics with a description on violation
+            sys.assert_invariants(); // panics with a description on violation
         }
     }
 }
@@ -212,7 +212,7 @@ fn per_link_ring_detail_runs() {
     let mut sys = System::new(cfg, params).unwrap();
     let stats = sys.run(2_000);
     assert_eq!(stats.refs, 2_000 * 16);
-    sys.check_invariants();
+    sys.assert_invariants();
 }
 
 #[test]
@@ -273,7 +273,7 @@ fn private_l3_organization_is_coherent() {
     assert_eq!(stats.wb.snarfed, 0, "no snarfing without the shared ring");
     let l3 = sys.l3_stats();
     assert!(l3.castouts_accepted > 0);
-    sys.check_invariants();
+    sys.assert_invariants();
 }
 
 #[test]
