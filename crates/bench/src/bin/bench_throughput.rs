@@ -1,0 +1,293 @@
+//! Pinned-workload throughput benchmark behind `scripts/bench.sh`.
+//!
+//! Runs a fixed suite of simulations and reports, per entry, simulated
+//! cycles per wall-clock second, events per second, and the process
+//! peak RSS. The suite is pinned (workload, policy, refs, scale, seed)
+//! so numbers are comparable across commits on the same machine:
+//!
+//! * `quick_trade2_combined` / `quick_cpw2_baseline` — single
+//!   quick-profile runs (scale 8, 30 k refs/thread).
+//! * `full_trade2_snarf` — one paper-scale run (scale 1, 100 k
+//!   refs/thread), the Figure 5 snarf point.
+//! * `smoke_grid` — 2 workloads x 4 policies at the smoke profile,
+//!   aggregated; the entry the `BENCH_PR5.json` regression gate watches.
+//!
+//! ```text
+//! bench_throughput --emit [BASE.json]   measure; print JSON (carrying
+//!                                       pre_cycles_per_sec over from BASE)
+//! bench_throughput --check FILE.json    measure; fail (exit 1) when any
+//!                                       entry regresses >20% in
+//!                                       cycles/sec vs FILE's post numbers
+//! ```
+//!
+//! `CMPSIM_BENCH_NO_GATE=1` turns a `--check` failure into a warning
+//! (escape hatch for busy or slower CI machines).
+
+use std::time::Instant;
+
+use cmp_adaptive_wb::{PolicyConfig, SnarfConfig, System, SystemConfig, UpdateScope, WbhtConfig};
+use cmpsim_trace::Workload;
+
+/// One pinned simulation: mirrors `cmpsim`'s CLI construction (same
+/// seed, same table-entry scaling) so shell-timed `cmpsim` runs and
+/// this harness measure the same work.
+#[derive(Clone, Copy)]
+struct Case {
+    workload: Workload,
+    policy: &'static str,
+    refs: u64,
+    scale: u64,
+}
+
+struct Measurement {
+    id: &'static str,
+    sim_cycles: u64,
+    events: u64,
+    wall_sec: f64,
+    peak_rss_kb: u64,
+}
+
+impl Measurement {
+    fn cycles_per_sec(&self) -> u64 {
+        (self.sim_cycles as f64 / self.wall_sec) as u64
+    }
+
+    fn events_per_sec(&self) -> u64 {
+        (self.events as f64 / self.wall_sec) as u64
+    }
+}
+
+const SEED: u64 = 0x1BAD_B002;
+
+fn config_for(scale: u64, policy: &str) -> SystemConfig {
+    let mut cfg = if scale <= 1 {
+        SystemConfig::paper()
+    } else {
+        SystemConfig::scaled(scale)
+    };
+    cfg.seed = SEED;
+    let entries = (32 * 1024 / scale.max(1)).max(256);
+    cfg.policy = match policy {
+        "baseline" => PolicyConfig::Baseline,
+        "wbht" => PolicyConfig::Wbht(WbhtConfig {
+            entries,
+            assoc: 16,
+            scope: UpdateScope::Local,
+            granularity: 1,
+        }),
+        "snarf" => PolicyConfig::Snarf(SnarfConfig {
+            entries,
+            ..Default::default()
+        }),
+        "combined" => PolicyConfig::Combined(
+            WbhtConfig {
+                entries: (entries / 2).max(256),
+                assoc: 16,
+                scope: UpdateScope::Local,
+                granularity: 1,
+            },
+            SnarfConfig {
+                entries: (entries / 2).max(256),
+                ..Default::default()
+            },
+        ),
+        other => panic!("unknown policy {other}"),
+    };
+    cfg
+}
+
+/// Runs one case, returning (simulated cycles, events dispatched).
+fn run_case(c: Case) -> (u64, u64) {
+    let cfg = config_for(c.scale, c.policy);
+    let params = c.workload.params(cfg.num_threads(), cfg.cache_scale());
+    let mut sys = System::new(cfg, params).expect("pinned case is valid");
+    let stats = sys.run(c.refs);
+    (stats.cycles, sys.events_processed())
+}
+
+/// Process peak RSS in kB from /proc/self/status (0 when unreadable,
+/// e.g. on non-Linux). Monotonic over the process lifetime, so later
+/// entries report the running maximum.
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+fn measure(id: &'static str, cases: &[Case]) -> Measurement {
+    let t0 = Instant::now();
+    let mut sim_cycles = 0;
+    let mut events = 0;
+    for &c in cases {
+        let (cyc, ev) = run_case(c);
+        sim_cycles += cyc;
+        events += ev;
+    }
+    Measurement {
+        id,
+        sim_cycles,
+        events,
+        wall_sec: t0.elapsed().as_secs_f64(),
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
+
+fn suite() -> Vec<Measurement> {
+    let mut out = Vec::new();
+    out.push(measure(
+        "quick_trade2_combined",
+        &[Case {
+            workload: Workload::Trade2,
+            policy: "combined",
+            refs: 30_000,
+            scale: 8,
+        }],
+    ));
+    out.push(measure(
+        "quick_cpw2_baseline",
+        &[Case {
+            workload: Workload::Cpw2,
+            policy: "baseline",
+            refs: 30_000,
+            scale: 8,
+        }],
+    ));
+    out.push(measure(
+        "full_trade2_snarf",
+        &[Case {
+            workload: Workload::Trade2,
+            policy: "snarf",
+            refs: 100_000,
+            scale: 1,
+        }],
+    ));
+    let mut grid = Vec::new();
+    for workload in [Workload::Trade2, Workload::Cpw2] {
+        for policy in ["baseline", "wbht", "snarf", "combined"] {
+            grid.push(Case {
+                workload,
+                policy,
+                refs: 2_000,
+                scale: 16,
+            });
+        }
+    }
+    out.push(measure("smoke_grid", &grid));
+    out
+}
+
+/// Pulls `"key": <integer>` values out of our own flat JSON format.
+/// Not a general JSON parser — `BENCH_PR5.json` is machine-written by
+/// `--emit`, one entry object per line.
+fn scan_u64(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = line.find(&needle)? + needle.len();
+    let rest = line[at..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn scan_id(line: &str) -> Option<&str> {
+    let at = line.find("\"id\":")? + 5;
+    let rest = line[at..].trim_start().strip_prefix('"')?;
+    rest.split('"').next()
+}
+
+/// Reads `(id, key)` values from a committed benchmark file.
+fn read_field(path: &str, key: &str) -> Vec<(String, u64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|l| Some((scan_id(l)?.to_string(), scan_u64(l, key)?)))
+        .collect()
+}
+
+fn emit(results: &[Measurement], base: Option<&str>) {
+    let pre: Vec<(String, u64)> = base
+        .map(|p| read_field(p, "pre_cycles_per_sec"))
+        .unwrap_or_default();
+    println!("{{");
+    println!("  \"schema\": \"cmpsim-bench/1\",");
+    println!("  \"generated_by\": \"scripts/bench.sh (bench_throughput --emit)\",");
+    println!("  \"note\": \"pre_cycles_per_sec measured on the pre-PR build, same machine, same pinned cases; post_* from this build\",");
+    println!("  \"entries\": [");
+    for (i, m) in results.iter().enumerate() {
+        let pre_cps = pre.iter().find(|(id, _)| id == m.id).map_or(0, |&(_, v)| v);
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        println!(
+            "    {{\"id\": \"{}\", \"pre_cycles_per_sec\": {}, \"post_cycles_per_sec\": {}, \"post_events_per_sec\": {}, \"post_peak_rss_kb\": {}, \"sim_cycles\": {}, \"events\": {}, \"wall_sec\": {:.3}}}{}",
+            m.id,
+            pre_cps,
+            m.cycles_per_sec(),
+            m.events_per_sec(),
+            m.peak_rss_kb,
+            m.sim_cycles,
+            m.events,
+            m.wall_sec,
+            comma,
+        );
+    }
+    println!("  ]");
+    println!("}}");
+}
+
+fn check(results: &[Measurement], path: &str) -> bool {
+    let committed = read_field(path, "post_cycles_per_sec");
+    if committed.is_empty() {
+        eprintln!("bench: no post_cycles_per_sec entries found in {path}");
+        return false;
+    }
+    let mut ok = true;
+    for m in results {
+        let Some(&(_, want)) = committed.iter().find(|(id, _)| id == m.id) else {
+            eprintln!("bench: {path} has no entry for {}", m.id);
+            ok = false;
+            continue;
+        };
+        let got = m.cycles_per_sec();
+        let floor = want * 8 / 10; // >20% regression fails
+        let verdict = if got >= floor { "ok" } else { "REGRESSED" };
+        eprintln!(
+            "bench: {:<24} {:>10} cycles/sec (committed {:>10}, floor {:>10}) {}",
+            m.id, got, want, floor, verdict
+        );
+        if got < floor {
+            ok = false;
+        }
+    }
+    ok
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--emit") => {
+            let results = suite();
+            emit(&results, args.get(1).map(String::as_str));
+        }
+        Some("--check") => {
+            let path = args.get(1).map(String::as_str).unwrap_or("BENCH_PR5.json");
+            let results = suite();
+            if !check(&results, path) {
+                if std::env::var_os("CMPSIM_BENCH_NO_GATE").is_some() {
+                    eprintln!("bench: regression gate bypassed (CMPSIM_BENCH_NO_GATE)");
+                } else {
+                    eprintln!("bench: throughput regressed >20%; investigate, or re-run with CMPSIM_BENCH_NO_GATE=1 / refresh via scripts/bench.sh --update");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => {
+            let results = suite();
+            emit(&results, None);
+        }
+    }
+}

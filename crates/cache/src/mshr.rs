@@ -1,6 +1,5 @@
 //! Miss-status holding registers (MSHRs).
 
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
@@ -34,9 +33,13 @@ impl fmt::Display for MshrError {
 
 impl Error for MshrError {}
 
+/// One register slot. Freed slots keep their `waiters` vector so its
+/// buffer is recycled by the next allocation (no per-miss allocation
+/// once the file has warmed up).
 #[derive(Debug, Clone)]
-struct Entry<W> {
+struct Slot<W> {
     line: LineAddr,
+    active: bool,
     waiters: Vec<W>,
 }
 
@@ -46,6 +49,10 @@ struct Entry<W> {
 /// *secondary* miss to the same line merges into the existing entry and
 /// waits for the same fill. `W` is the waiter token type (thread ids in
 /// this simulator).
+///
+/// The file is a fixed slab of `capacity` slots searched linearly — a
+/// hardware MSHR file is a handful of CAM entries, and at that size a
+/// linear tag compare beats any hash map.
 ///
 /// # Example
 ///
@@ -61,8 +68,8 @@ struct Entry<W> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct MshrFile<W> {
-    capacity: usize,
-    entries: HashMap<LineAddr, Entry<W>>,
+    slots: Vec<Slot<W>>,
+    len: usize,
     /// Highest simultaneous occupancy seen (for sizing studies).
     high_water: usize,
     primary: u64,
@@ -79,13 +86,24 @@ impl<W> MshrFile<W> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR file must have at least one register");
         MshrFile {
-            capacity,
-            entries: HashMap::new(),
+            slots: (0..capacity)
+                .map(|_| Slot {
+                    line: LineAddr::new(0),
+                    active: false,
+                    waiters: Vec::new(),
+                })
+                .collect(),
+            len: 0,
             high_water: 0,
             primary: 0,
             secondary: 0,
             stalls: 0,
         }
+    }
+
+    #[inline]
+    fn find(&self, line: LineAddr) -> Option<usize> {
+        self.slots.iter().position(|s| s.active && s.line == line)
     }
 
     /// Registers a miss on `line` by `waiter`.
@@ -98,55 +116,77 @@ impl<W> MshrFile<W> {
     /// [`MshrError::Full`] when the miss would need a new register and
     /// none is free: the cache must stall the request.
     pub fn allocate(&mut self, line: LineAddr, waiter: W) -> Result<bool, MshrError> {
-        if let Some(e) = self.entries.get_mut(&line) {
-            e.waiters.push(waiter);
+        if let Some(i) = self.find(line) {
+            self.slots[i].waiters.push(waiter);
             self.secondary += 1;
             return Ok(false);
         }
-        if self.entries.len() >= self.capacity {
+        if self.len >= self.slots.len() {
             self.stalls += 1;
             return Err(MshrError::Full);
         }
-        self.entries.insert(
-            line,
-            Entry {
-                line,
-                waiters: vec![waiter],
-            },
-        );
-        self.high_water = self.high_water.max(self.entries.len());
+        let slot = self
+            .slots
+            .iter_mut()
+            .find(|s| !s.active)
+            .expect("len < capacity implies a free slot");
+        slot.line = line;
+        slot.active = true;
+        slot.waiters.clear();
+        slot.waiters.push(waiter);
+        self.len += 1;
+        self.high_water = self.high_water.max(self.len);
         self.primary += 1;
         Ok(true)
+    }
+
+    /// Completes the miss on `line`, appending all merged waiters to
+    /// `out` (which is *not* cleared first). Returns `true` when an MSHR
+    /// was outstanding for the line.
+    ///
+    /// This is the allocation-free form of [`complete`](Self::complete):
+    /// the register's waiter buffer stays in the slab for reuse and the
+    /// caller recycles its own scratch vector.
+    pub fn complete_into(&mut self, line: LineAddr, out: &mut Vec<W>) -> bool {
+        match self.find(line) {
+            Some(i) => {
+                let slot = &mut self.slots[i];
+                slot.active = false;
+                out.append(&mut slot.waiters);
+                self.len -= 1;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Completes the miss on `line`, returning all merged waiters.
     ///
     /// Returns `None` when no MSHR is outstanding for the line.
     pub fn complete(&mut self, line: LineAddr) -> Option<Vec<W>> {
-        self.entries.remove(&line).map(|e| {
-            debug_assert_eq!(e.line, line);
-            e.waiters
-        })
+        let mut out = Vec::new();
+        self.complete_into(line, &mut out).then_some(out)
     }
 
     /// `true` when a miss on `line` is already outstanding.
+    #[inline]
     pub fn contains(&self, line: LineAddr) -> bool {
-        self.entries.contains_key(&line)
+        self.find(line).is_some()
     }
 
     /// Number of registers currently in use.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// `true` when no registers are in use.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// Register capacity.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.slots.len()
     }
 
     /// Highest simultaneous occupancy observed.
@@ -190,6 +230,9 @@ mod tests {
     fn complete_unknown_is_none() {
         let mut m: MshrFile<u32> = MshrFile::new(2);
         assert_eq!(m.complete(LineAddr::new(9)), None);
+        let mut scratch = Vec::new();
+        assert!(!m.complete_into(LineAddr::new(9), &mut scratch));
+        assert!(scratch.is_empty());
     }
 
     #[test]
@@ -212,6 +255,31 @@ mod tests {
         assert!(m.contains(LineAddr::new(5)));
         m.complete(LineAddr::new(5));
         assert!(!m.contains(LineAddr::new(5)));
+    }
+
+    #[test]
+    fn slots_recycle_after_complete() {
+        let mut m: MshrFile<u32> = MshrFile::new(2);
+        let mut scratch = Vec::new();
+        for round in 0..100 {
+            m.allocate(LineAddr::new(round), 0).unwrap();
+            m.allocate(LineAddr::new(round), 1).unwrap();
+            assert!(m.complete_into(LineAddr::new(round), &mut scratch));
+            assert_eq!(scratch, vec![0, 1]);
+            scratch.clear();
+            assert!(m.is_empty());
+        }
+        assert_eq!(m.counts(), (100, 100, 0));
+        assert_eq!(m.high_water(), 1);
+    }
+
+    #[test]
+    fn complete_into_appends() {
+        let mut m: MshrFile<u32> = MshrFile::new(4);
+        m.allocate(LineAddr::new(1), 7).unwrap();
+        let mut out = vec![99];
+        assert!(m.complete_into(LineAddr::new(1), &mut out));
+        assert_eq!(out, vec![99, 7]);
     }
 
     #[test]

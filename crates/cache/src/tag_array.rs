@@ -1,5 +1,7 @@
 //! Set-associative tag array generic over a per-line state payload.
 
+use std::cell::Cell;
+
 use cmpsim_engine::SplitMix64;
 
 use crate::{CacheGeometry, LineAddr, ReplacementPolicy};
@@ -69,7 +71,23 @@ pub struct TagArray<S> {
     stamp: u64,
     rng: SplitMix64,
     valid_count: u64,
+    /// Way memoization: per-set index of the last way that hit (or was
+    /// filled), `NO_HINT` when unknown. Hints are *validated* on use
+    /// (valid bit and tag compare), so a stale hint after an eviction or
+    /// invalidation degrades to the full way scan — it can never return
+    /// a wrong answer, and therefore never needs clearing. `Cell` keeps
+    /// [`probe`](Self::probe) shared (`&self`); the array stays `Send`,
+    /// which is all the parallel sweep driver needs (each worker builds
+    /// its own systems).
+    way_hint: Vec<Cell<u32>>,
+    /// Consult the hint on probes? Always updated, consulted only when
+    /// `true`; tests flip it off to prove probe/LRU behaviour is
+    /// identical either way.
+    memo: bool,
 }
+
+/// Sentinel for "no memoized way" (associativities are far below this).
+const NO_HINT: u32 = u32::MAX;
 
 impl<S: Copy + Default> TagArray<S> {
     /// Creates an empty tag array.
@@ -102,7 +120,16 @@ impl<S: Copy + Default> TagArray<S> {
             stamp: 0,
             rng: SplitMix64::new(0xCAFE_F00D),
             valid_count: 0,
+            way_hint: vec![Cell::new(NO_HINT); geom.num_sets() as usize],
+            memo: true,
         }
+    }
+
+    /// Enables or disables the way-memoization fast path (on by
+    /// default). Probe results, recency stamps, and victim choices are
+    /// identical either way — tests flip this to prove it.
+    pub fn set_way_memo(&mut self, on: bool) {
+        self.memo = on;
     }
 
     /// The geometry this array was built with.
@@ -128,29 +155,37 @@ impl<S: Copy + Default> TagArray<S> {
 
     /// Looks up a line without updating recency. Returns the way and a
     /// reference to its state when present.
+    #[inline]
     pub fn probe(&self, line: LineAddr) -> Option<(WayIdx, &S)> {
-        let range = self.set_range(line);
-        let base = range.start;
-        self.ways[range]
+        let set = self.geom.set_of(line) as usize;
+        let a = self.geom.assoc() as usize;
+        let base = set * a;
+        if self.memo {
+            let h = self.way_hint[set].get() as usize;
+            if h < a {
+                let w = &self.ways[base + h];
+                if w.valid && w.tag == line.raw() {
+                    return Some((base + h, &w.state));
+                }
+            }
+        }
+        let hit = self.ways[base..base + a]
             .iter()
-            .enumerate()
-            .find(|(_, w)| w.valid && w.tag == line.raw())
-            .map(|(i, w)| (base + i, &w.state))
+            .position(|w| w.valid && w.tag == line.raw())?;
+        self.way_hint[set].set(hit as u32);
+        Some((base + hit, &self.ways[base + hit].state))
     }
 
     /// Looks up a line without updating recency, returning a mutable
     /// state reference (e.g. for coherence state transitions on snoops).
+    #[inline]
     pub fn probe_mut(&mut self, line: LineAddr) -> Option<(WayIdx, &mut S)> {
-        let range = self.set_range(line);
-        let base = range.start;
-        self.ways[range]
-            .iter_mut()
-            .enumerate()
-            .find(|(_, w)| w.valid && w.tag == line.raw())
-            .map(|(i, w)| (base + i, &mut w.state))
+        let (way, _) = self.probe(line)?;
+        Some((way, &mut self.ways[way].state))
     }
 
     /// Marks a line as just-used (hit path). Returns `false` if absent.
+    #[inline]
     pub fn touch(&mut self, line: LineAddr) -> bool {
         let Some((way, _)) = self.probe(line) else {
             return false;
@@ -227,9 +262,11 @@ impl<S: Copy + Default> TagArray<S> {
         w.valid = true;
         w.state = state;
         w.stamp = stamp;
+        let set = self.geom.set_of(line) as usize;
+        let local = way - set * self.geom.assoc() as usize;
+        // A just-filled line is the likeliest next probe target.
+        self.way_hint[set].set(local as u32);
         if self.policy == ReplacementPolicy::TreePlru && pos == InsertPosition::Mru {
-            let set = self.geom.set_of(line) as usize;
-            let local = way - self.set_range(line).start;
             self.plru_touch(set, local);
         }
         evicted
@@ -558,6 +595,69 @@ mod tests {
         assert_eq!(c[1].1, LineAddr::new(8));
         // k larger than valid ways is clipped.
         assert_eq!(t.victim_candidates(LineAddr::new(16), 99).len(), 4);
+    }
+
+    #[test]
+    fn way_memo_is_behaviour_invisible() {
+        // Mirror a random probe/touch/insert/invalidate schedule onto two
+        // arrays, one with the way-memoization fast path disabled, and
+        // demand identical probe results (way AND state), identical
+        // evictions, and identical LRU stamps throughout.
+        let geom = CacheGeometry::new(4096, 8, 128).unwrap(); // 4 sets x 8 ways
+        let mut on: TagArray<u8> = TagArray::new(geom, ReplacementPolicy::Lru);
+        let mut off: TagArray<u8> = TagArray::new(geom, ReplacementPolicy::Lru);
+        off.set_way_memo(false);
+        let mut rng = SplitMix64::new(0xDEAD_BEEF);
+        for step in 0..20_000u64 {
+            let line = LineAddr::new(rng.gen_range(64));
+            match rng.gen_range(4) {
+                0 => {
+                    let a = on.probe(line).map(|(w, &s)| (w, s));
+                    let b = off.probe(line).map(|(w, &s)| (w, s));
+                    assert_eq!(a, b, "probe diverged at step {step}");
+                }
+                1 => {
+                    assert_eq!(on.touch(line), off.touch(line), "touch @ {step}");
+                }
+                2 => {
+                    let st = (step & 0xFF) as u8;
+                    if on.probe(line).is_none() {
+                        let a = on.insert(line, st, InsertPosition::Mru);
+                        let b = off.insert(line, st, InsertPosition::Mru);
+                        assert_eq!(a, b, "eviction diverged at step {step}");
+                    }
+                }
+                _ => {
+                    assert_eq!(on.invalidate(line), off.invalidate(line));
+                }
+            }
+            assert_eq!(on.valid_lines(), off.valid_lines());
+        }
+        // Full-state comparison at the end: every resident line, state,
+        // and victim ordering matches.
+        let a: Vec<_> = on.iter_valid().map(|(l, &s)| (l, s)).collect();
+        let b: Vec<_> = off.iter_valid().map(|(l, &s)| (l, s)).collect();
+        assert_eq!(a, b);
+        for set_line in 0..4u64 {
+            let l = LineAddr::new(set_line);
+            assert_eq!(on.victim_candidates(l, 8), off.victim_candidates(l, 8));
+        }
+    }
+
+    #[test]
+    fn stale_hint_never_lies() {
+        // Hit a line (hint points at it), invalidate it, re-insert a
+        // *different* line into the same way, then probe the old line:
+        // the stale hint must be rejected by tag compare.
+        let mut t = small();
+        t.insert(LineAddr::new(0), 1, InsertPosition::Mru);
+        assert!(t.probe(LineAddr::new(0)).is_some());
+        let way = t.probe(LineAddr::new(0)).unwrap().0;
+        t.invalidate(LineAddr::new(0));
+        assert!(t.probe(LineAddr::new(0)).is_none());
+        t.insert_into(LineAddr::new(8), way, 2, InsertPosition::Mru);
+        assert!(t.probe(LineAddr::new(0)).is_none());
+        assert_eq!(*t.probe(LineAddr::new(8)).unwrap().1, 2);
     }
 
     #[test]

@@ -96,6 +96,7 @@ impl System {
         let (responses, t_collect) = self.collect_miss_snoops(&txn, t_ring);
 
         let combined = self.collector.combine(&txn, &responses);
+        self.snoop_scratch = responses;
         let t_seen = self.ring.combined_arrival(t_collect, src_agent);
 
         match combined {
@@ -147,10 +148,12 @@ impl System {
         let line = txn.line;
         let src_agent = AgentId::L2(txn.src);
 
-        // Reuse bookkeeping: this is a demand miss on the line.
-        if let Some(accepted) = self.wb_pending.remove(&line.raw()) {
+        // Reuse bookkeeping: this is a demand miss on the line. The
+        // accepted set is a subset of the pending set, so it only needs
+        // probing (and clearing) when the pending probe hits.
+        if self.wb_pending.remove(&line.raw()) {
             self.stats.wb_reuse.reused_total += 1;
-            if accepted {
+            if self.wb_accepted.remove(&line.raw()) {
                 self.stats.wb_reuse.reused_accepted += 1;
             }
         }

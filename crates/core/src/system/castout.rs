@@ -50,7 +50,11 @@ impl System {
                 self.stats.wb.clean_requests += 1;
             }
             self.stats.wb_reuse.total += 1;
-            self.wb_pending.insert(line.raw(), false);
+            // New write-back generation: clear any stale accepted mark
+            // from an earlier castout of the same line (the old encoding
+            // overwrote the map value with `false` here).
+            self.wb_pending.insert(line.raw());
+            self.wb_accepted.remove(&line.raw());
             if let Some(t) = &mut self.snarf_table {
                 t.observe_writeback(line);
             }
@@ -74,6 +78,7 @@ impl System {
         let (responses, t_collect) = self.collect_castout_snoops(&txn, dirty, t_ring);
 
         let combined = self.collector.combine(&txn, &responses);
+        self.snoop_scratch = responses;
         let t_seen = self.ring.combined_arrival(t_collect, src_agent);
         self.spans.mark(sid, SpanPhase::SnoopWindow, t_seen);
 
@@ -164,8 +169,8 @@ impl System {
                             l2: i as u32,
                             line: line.raw(),
                         });
-                        if let Some(acc) = self.wb_pending.get_mut(&line.raw()) {
-                            *acc = true;
+                        if self.wb_pending.contains(&line.raw()) {
+                            self.wb_accepted.insert(line.raw());
                         }
                         self.stats.wb_reuse.accepted += 1;
                         if let Some(v) = victim {
@@ -210,7 +215,8 @@ impl System {
                 self.stats.wb.clean_requests += 1;
             }
             self.stats.wb_reuse.total += 1;
-            self.wb_pending.insert(line.raw(), false);
+            self.wb_pending.insert(line.raw());
+            self.wb_accepted.remove(&line.raw());
             self.telemetry.emit(now, || SimEvent::CastoutIssued {
                 l2: i as u32,
                 line: line.raw(),
@@ -250,8 +256,8 @@ impl System {
                             l2: i as u32,
                             line: line.raw(),
                         });
-                        if let Some(acc) = self.wb_pending.get_mut(&line.raw()) {
-                            *acc = true;
+                        if self.wb_pending.contains(&line.raw()) {
+                            self.wb_accepted.insert(line.raw());
                         }
                         self.stats.wb_reuse.accepted += 1;
                         if let Some(v) = victim {

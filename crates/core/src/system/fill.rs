@@ -158,10 +158,13 @@ impl System {
         if let Some(t0) = self.miss_issue.remove(&(i as u8, line.raw())) {
             self.stats.miss_latency.add(now.saturating_sub(t0));
         }
-        let Some(waiters) = self.l2s[i].mshrs.complete(line) else {
+        let mut waiters = std::mem::take(&mut self.waiter_scratch);
+        waiters.clear();
+        if !self.l2s[i].mshrs.complete_into(line, &mut waiters) {
+            self.waiter_scratch = waiters;
             return;
-        };
-        for t in waiters {
+        }
+        for &t in &waiters {
             let ti = t.index();
             self.threads[ti].outstanding = self.threads[ti].outstanding.saturating_sub(1);
             if !self.l1s.is_empty() {
@@ -178,6 +181,7 @@ impl System {
                 _ => {}
             }
         }
+        self.waiter_scratch = waiters;
         // An MSHR freed: wake threads blocked on exhaustion.
         let waiting = std::mem::take(&mut self.l2s[i].waiting_threads);
         for t in waiting {

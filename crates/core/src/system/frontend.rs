@@ -135,6 +135,7 @@ impl System {
         }
     }
 
+    #[inline]
     fn note_l2_hit(&mut self, i: usize, core: usize, line: LineAddr, is_store: bool) {
         self.stats.l2[i].hits += 1;
         if let Some(f) = self.l2s[i].snarfed_lines.get_mut(&line.raw()) {
@@ -148,6 +149,7 @@ impl System {
         }
     }
 
+    #[inline]
     fn count_ref(&mut self, ti: usize, is_store: bool) {
         self.threads[ti].issued += 1;
         self.threads[ti].next_time += self.workload.issue_interval();

@@ -1,12 +1,11 @@
 //! One L2 cache: sliced tag arrays, MSHRs, write-back queue, snoop port.
 
-use std::collections::HashMap;
-
 use cmpsim_cache::{
     InsertPosition, LineAddr, MshrFile, ReplacementPolicy, SlicedGeometry, TagArray, WayIdx,
     WriteBackQueue,
 };
 use cmpsim_coherence::{L2Id, L2State};
+use cmpsim_engine::hash::{FxHashMap, FxHashSet};
 use cmpsim_engine::telemetry::{SimEvent, Telemetry};
 use cmpsim_engine::{Cycle, FifoServer, SlotPool};
 use cmpsim_trace::ThreadId;
@@ -45,13 +44,13 @@ pub struct L2Unit {
     pub wbht: Option<Wbht>,
     /// Castouts currently arbitrating on the bus; they stay in `wbq`
     /// until resolution so they remain snoopable.
-    pub castouts_inflight: std::collections::HashSet<LineAddr>,
+    pub castouts_inflight: FxHashSet<LineAddr>,
     /// Whether a drain event chain is active.
     pub draining: bool,
     /// Threads parked on MSHR exhaustion.
     pub waiting_threads: Vec<ThreadId>,
     /// Reuse flags for lines snarfed into this cache.
-    pub snarfed_lines: HashMap<u64, SnarfFlags>,
+    pub snarfed_lines: FxHashMap<u64, SnarfFlags>,
     telemetry: Telemetry,
 }
 
@@ -82,10 +81,10 @@ impl L2Unit {
             array_srv: FifoServer::new(cfg.l2_array_cycles),
             snarf_buffers: SlotPool::new(cfg.snarf_buffers.max(1)),
             wbht,
-            castouts_inflight: std::collections::HashSet::new(),
+            castouts_inflight: FxHashSet::default(),
             draining: false,
             waiting_threads: Vec::new(),
-            snarfed_lines: HashMap::new(),
+            snarfed_lines: FxHashMap::default(),
             telemetry: Telemetry::disabled(),
         }
     }
@@ -98,6 +97,7 @@ impl L2Unit {
         self.telemetry = telemetry;
     }
 
+    #[inline]
     fn slice_and_local(&self, line: LineAddr) -> (usize, LineAddr) {
         (
             self.geometry.slice_of(line) as usize,
@@ -106,12 +106,14 @@ impl L2Unit {
     }
 
     /// Coherence state of `line` if resident.
+    #[inline]
     pub fn state_of(&self, line: LineAddr) -> Option<L2State> {
         let (s, local) = self.slice_and_local(line);
         self.slices[s].probe(local).map(|(_, &st)| st)
     }
 
     /// Refreshes recency of a resident line. Returns `false` if absent.
+    #[inline]
     pub fn touch(&mut self, line: LineAddr) -> bool {
         let (s, local) = self.slice_and_local(line);
         self.slices[s].touch(local)

@@ -119,6 +119,14 @@ impl System {
         &self.stats
     }
 
+    /// Total events dispatched so far (the event queue's lifetime pop
+    /// count). Benchmarks divide this by wall time for events/sec; it is
+    /// deliberately not part of [`SystemStats`] so the serialized
+    /// statistics stay byte-identical across engine changes.
+    pub fn events_processed(&self) -> u64 {
+        self.queue.popped()
+    }
+
     /// The L3 model (for oracle peeks and statistics). In the private
     /// organization this is the (unused) shared instance; use
     /// [`l3_stats`](Self::l3_stats) for aggregate numbers.

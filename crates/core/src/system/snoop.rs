@@ -61,7 +61,8 @@ impl System {
         let i = txn.src.index();
         let line = txn.line;
         let src_agent = AgentId::L2(txn.src);
-        let mut responses: Vec<SnoopResponse> = Vec::with_capacity(self.l2s.len() + 2);
+        let mut responses = std::mem::take(&mut self.snoop_scratch);
+        responses.clear();
         let mut t_collect: Cycle = self.ring.response_at_collector(t_ring, src_agent);
         for j in 0..self.l2s.len() {
             if j == i {
@@ -125,7 +126,8 @@ impl System {
         let i = txn.src.index();
         let line = txn.line;
         let src_agent = AgentId::L2(txn.src);
-        let mut responses: Vec<SnoopResponse> = Vec::with_capacity(self.l2s.len() + 1);
+        let mut responses = std::mem::take(&mut self.snoop_scratch);
+        responses.clear();
         let mut t_collect: Cycle = self.ring.response_at_collector(t_ring, src_agent);
         for j in 0..self.l2s.len() {
             if j == i {

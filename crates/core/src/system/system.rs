@@ -2,10 +2,9 @@
 //! loop, and dispatches each event to the protocol-phase module that
 //! handles it (see the module map in [`crate::system`]).
 
-use std::collections::HashMap;
-
 use cmpsim_cache::LineAddr;
-use cmpsim_coherence::{L2Id, L2State, SnoopCollector, TxnId, TxnState};
+use cmpsim_coherence::{L2Id, L2State, SnoopCollector, SnoopResponse, TxnId, TxnState};
+use cmpsim_engine::hash::{FxHashMap, FxHashSet};
 use cmpsim_engine::spans::SpanTracer;
 use cmpsim_engine::telemetry::{IntervalSampler, Telemetry};
 use cmpsim_engine::{Channel, Cycle, EventQueue};
@@ -93,18 +92,37 @@ pub struct System {
     pub(super) snarf_insert_pos: cmpsim_cache::InsertPosition,
     pub(super) txn_seq: TxnId,
     pub(super) stats: SystemStats,
-    /// Lines written back and not yet re-referenced: line -> accepted by
-    /// L3 (Table 2 tracking).
-    pub(super) wb_pending: HashMap<u64, bool>,
+    /// Lines written back and not yet re-referenced (Table 2 tracking).
+    ///
+    /// Invariant: `wb_accepted ⊆ wb_pending`. A castout's *first* bus
+    /// attempt inserts the line into `wb_pending` (and removes any stale
+    /// `wb_accepted` membership from a prior write-back generation); the
+    /// L3 accepting the data adds it to `wb_accepted`; a demand miss on
+    /// the line removes it from both, counting `reused_total` and — when
+    /// the accepted set also held it — `reused_accepted`. A single
+    /// `HashMap<u64, bool>` used to encode both sets; splitting them
+    /// makes each hot-path touch a set probe instead of an entry update.
+    pub(super) wb_pending: FxHashSet<u64>,
+    /// Subset of [`wb_pending`](Self::wb_pending) whose data the L3
+    /// accepted (vs. dropped on the floor by a WBHT-suppressed or
+    /// declined write-back).
+    pub(super) wb_accepted: FxHashSet<u64>,
     /// Miss issue times for the latency histogram: (l2, line) -> cycle.
-    pub(super) miss_issue: HashMap<(u8, u64), Cycle>,
+    pub(super) miss_issue: FxHashMap<(u8, u64), Cycle>,
     /// Fills granted by a combined response but not yet landed:
     /// (l2, line). Snoops retry against these — ownership is in flight.
-    pub(super) inbound_fills: std::collections::HashSet<(u8, u64)>,
+    pub(super) inbound_fills: FxHashSet<(u8, u64)>,
     /// Snarfed castouts in flight to their absorbing L2: the line is in
     /// no tag array during the transfer, so snoops must retry against
     /// these too (the absorber has reserved a line-fill buffer for it).
-    pub(super) inbound_snarfs: std::collections::HashSet<(u8, u64)>,
+    pub(super) inbound_snarfs: FxHashSet<(u8, u64)>,
+    /// Recycled snoop-response buffer: the snoop layer takes it, fills
+    /// it, and the bus layer hands it back after combining, so no bus
+    /// transaction allocates a response vector.
+    pub(super) snoop_scratch: Vec<SnoopResponse>,
+    /// Recycled MSHR-waiter buffer for the completion layer, same
+    /// pattern.
+    pub(super) waiter_scratch: Vec<ThreadId>,
     /// Debug: line (raw) whose every transition is logged to stderr.
     /// Set via the `CMPSIM_TRACE_LINE` environment variable (hex).
     pub(super) trace_line: Option<u64>,
@@ -249,10 +267,13 @@ impl System {
             snarf_insert_pos,
             txn_seq: TxnId::ZERO,
             stats: SystemStats::new(num_l2),
-            wb_pending: HashMap::new(),
-            miss_issue: HashMap::new(),
-            inbound_fills: std::collections::HashSet::new(),
-            inbound_snarfs: std::collections::HashSet::new(),
+            wb_pending: FxHashSet::default(),
+            wb_accepted: FxHashSet::default(),
+            miss_issue: FxHashMap::default(),
+            inbound_fills: FxHashSet::default(),
+            inbound_snarfs: FxHashSet::default(),
+            snoop_scratch: Vec::new(),
+            waiter_scratch: Vec::new(),
             trace_line: std::env::var("CMPSIM_TRACE_LINE")
                 .ok()
                 .and_then(|v| u64::from_str_radix(v.trim_start_matches("0x"), 16).ok()),
@@ -292,6 +313,14 @@ impl System {
         }
         while let Some((now, ev)) = self.queue.pop() {
             self.dispatch(now, ev);
+            // Debug builds sweep coherence invariants on a stride: the
+            // full-cache walk is O(resident lines), so doing it on every
+            // event would make `cargo test` unusably slow, and release
+            // builds skip it entirely.
+            #[cfg(debug_assertions)]
+            if self.queue.popped() & 0x3FF == 0 {
+                self.assert_invariants();
+            }
             if self.sampler.as_ref().is_some_and(|s| s.due(now)) {
                 self.close_intervals(now, false);
             }

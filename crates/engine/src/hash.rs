@@ -1,0 +1,134 @@
+//! Non-cryptographic hashing for simulator-internal maps.
+//!
+//! `std`'s default `HashMap` hasher (SipHash-1-3) is keyed and
+//! DoS-resistant — properties the simulator's internal bookkeeping maps
+//! (keyed by line addresses and small agent ids, never by external
+//! input) pay for on every miss, castout, and hit. [`FxHasher`] is the
+//! multiply-xor hasher used by rustc for the same kind of workload:
+//! a couple of cycles per `u64` key, deterministic across runs and
+//! platforms (no random state), which also keeps map iteration order
+//! stable between identical runs.
+//!
+//! # Example
+//!
+//! ```
+//! use cmpsim_engine::hash::FxHashMap;
+//!
+//! let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+//! m.insert(42, 1);
+//! assert_eq!(m.get(&42), Some(&1));
+//! ```
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc multiply-xor hasher: fast on short fixed-size keys.
+///
+/// Not collision-resistant against adversarial input — use only for
+/// internal keys (addresses, ids), never for externally supplied data.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(i * 0x9E37_79B9, "v");
+        }
+        assert_eq!(m.len(), 1000);
+        assert!(m.contains_key(&0));
+        assert!(!m.contains_key(&1));
+    }
+
+    #[test]
+    fn set_round_trips() {
+        let mut s: FxHashSet<(u8, u64)> = FxHashSet::default();
+        assert!(s.insert((3, 77)));
+        assert!(!s.insert((3, 77)));
+        assert!(s.remove(&(3, 77)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn hashes_are_deterministic() {
+        let h = |x: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(x);
+            h.finish()
+        };
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(42), h(43));
+    }
+
+    #[test]
+    fn byte_writes_match_word_writes() {
+        // `write` is only exercised via derived Hash impls on compound
+        // keys; sanity-check that it mixes all input bytes.
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 10]);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -8,8 +8,9 @@
 //!   order),
 //! * contention-modelling resources ([`FifoServer`], [`Channel`],
 //!   [`SlotPool`]) that turn "this unit is busy" into queueing delay,
-//! * a small, fast, deterministic RNG ([`SplitMix64`]), and
-//! * online statistics helpers ([`stats`]).
+//! * a small, fast, deterministic RNG ([`SplitMix64`]),
+//! * online statistics helpers ([`stats`]), and
+//! * fast deterministic hashing for internal maps ([`hash`]).
 //!
 //! # Design
 //!
@@ -40,9 +41,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod hash;
 mod interval;
 pub mod metrics;
-mod queue;
+pub mod queue;
 mod resource;
 mod rng;
 pub mod spans;

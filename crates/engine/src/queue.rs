@@ -1,15 +1,32 @@
 //! A deterministic event queue with stable same-time ordering.
+//!
+//! The implementation is a two-level calendar queue tuned for the
+//! simulator's access pattern (pushes cluster within a few hundred
+//! cycles of "now"): a ring of per-cycle FIFO buckets absorbs the near
+//! future at O(1) push/pop, and a far-future overflow heap catches the
+//! rare long-delay event. [`legacy::HeapEventQueue`] keeps the original
+//! binary-heap implementation as a differential oracle for tests.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::VecDeque;
 
 use crate::Cycle;
+
+/// Number of per-cycle buckets in the near-future ring (power of two).
+///
+/// Events scheduled less than this many cycles past the ring's current
+/// window base go straight into their cycle's bucket; later events park
+/// in the overflow heap until the window advances over them. The
+/// simulator's longest single hop (memory access + link transfer) is a
+/// few hundred cycles, so 1024 keeps the overflow heap essentially
+/// empty in practice.
+const NUM_BUCKETS: usize = 1024;
+const BUCKET_MASK: usize = NUM_BUCKETS - 1;
 
 /// A priority queue of timestamped events.
 ///
 /// Events pop in non-decreasing time order; events pushed at the same time
 /// pop in push order (FIFO), which makes simulations fully deterministic
-/// regardless of heap internals.
+/// regardless of queue internals.
 ///
 /// # Example
 ///
@@ -27,31 +44,48 @@ use crate::Cycle;
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<T> {
-    heap: BinaryHeap<Reverse<Entry<T>>>,
+    /// Near-future ring: bucket `t & BUCKET_MASK` holds the events of
+    /// cycle `t` for every `t` in `[horizon - NUM_BUCKETS, horizon)`.
+    /// Within a bucket, `VecDeque` push/pop order *is* FIFO order, so no
+    /// per-event sequence number is stored (or allocated) on this path.
+    buckets: Vec<VecDeque<(Cycle, T)>>,
+    /// Events in the ring.
+    ring_len: usize,
+    /// Scan position: no ring event is earlier than this. Monotonic.
+    cursor: Cycle,
+    /// Exclusive upper bound of the ring window; overflow events are at
+    /// or past it. Advances only when the ring drains (lazy rebase).
+    horizon: Cycle,
+    /// Far-future events, ordered by `(time, seq)` so same-time events
+    /// migrate into the ring in push order.
+    overflow: std::collections::BinaryHeap<std::cmp::Reverse<OverflowEntry<T>>>,
+    /// Push tiebreaker for overflow entries only.
     seq: u64,
+    len: usize,
     last_popped: Cycle,
     high_water: usize,
+    popped: u64,
 }
 
 #[derive(Debug)]
-struct Entry<T> {
+struct OverflowEntry<T> {
     time: Cycle,
     seq: u64,
     payload: T,
 }
 
-impl<T> PartialEq for Entry<T> {
+impl<T> PartialEq for OverflowEntry<T> {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl<T> Eq for Entry<T> {}
-impl<T> PartialOrd for Entry<T> {
+impl<T> Eq for OverflowEntry<T> {}
+impl<T> PartialOrd for OverflowEntry<T> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<T> Ord for Entry<T> {
+impl<T> Ord for OverflowEntry<T> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.time, self.seq).cmp(&(other.time, other.seq))
     }
@@ -61,67 +95,128 @@ impl<T> EventQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            buckets: (0..NUM_BUCKETS).map(|_| VecDeque::new()).collect(),
+            ring_len: 0,
+            cursor: 0,
+            horizon: NUM_BUCKETS as Cycle,
+            overflow: std::collections::BinaryHeap::new(),
             seq: 0,
+            len: 0,
             last_popped: 0,
             high_water: 0,
+            popped: 0,
         }
     }
 
-    /// Creates an empty queue with pre-allocated capacity.
-    pub fn with_capacity(cap: usize) -> Self {
-        EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
-            seq: 0,
-            last_popped: 0,
-            high_water: 0,
-        }
+    /// Creates an empty queue. The calendar ring is fixed-size; `_cap`
+    /// is accepted for API compatibility with the old binary heap.
+    pub fn with_capacity(_cap: usize) -> Self {
+        Self::new()
     }
 
     /// Schedules `payload` at absolute time `time`.
     ///
     /// # Panics
     ///
-    /// Panics if `time` is earlier than the last popped time: scheduling
-    /// into the past would silently corrupt resource busy-until state.
+    /// Panics in debug builds if `time` is earlier than the last popped
+    /// time: scheduling into the past would silently corrupt resource
+    /// busy-until state. Release builds skip the check (the simulator's
+    /// tests run with it on).
+    #[inline]
     pub fn push(&mut self, time: Cycle, payload: T) {
-        assert!(
+        debug_assert!(
             time >= self.last_popped,
             "event scheduled in the past: {} < {}",
             time,
             self.last_popped
         );
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Reverse(Entry { time, seq, payload }));
-        self.high_water = self.high_water.max(self.heap.len());
+        if time < self.horizon {
+            self.buckets[(time as usize) & BUCKET_MASK].push_back((time, payload));
+            self.ring_len += 1;
+        } else {
+            let seq = self.seq;
+            self.seq += 1;
+            self.overflow
+                .push(std::cmp::Reverse(OverflowEntry { time, seq, payload }));
+        }
+        self.len += 1;
+        self.high_water = self.high_water.max(self.len);
     }
 
     /// Removes and returns the earliest event, or `None` when empty.
+    #[inline]
     pub fn pop(&mut self) -> Option<(Cycle, T)> {
-        let Reverse(e) = self.heap.pop()?;
-        self.last_popped = e.time;
-        Some((e.time, e.payload))
+        if self.len == 0 {
+            return None;
+        }
+        if self.ring_len == 0 {
+            self.rebase();
+        }
+        // Scan forward from the cursor to the next occupied bucket. The
+        // cursor is globally monotonic (rebases only jump it forward),
+        // so the total scan work over a run is bounded by the total
+        // virtual-time advance, not events × window.
+        loop {
+            let bucket = &mut self.buckets[(self.cursor as usize) & BUCKET_MASK];
+            if let Some((t, payload)) = bucket.pop_front() {
+                debug_assert_eq!(t, self.cursor, "bucket holds a foreign cycle");
+                self.ring_len -= 1;
+                self.len -= 1;
+                self.last_popped = t;
+                self.popped += 1;
+                return Some((t, payload));
+            }
+            self.cursor += 1;
+            debug_assert!(self.cursor < self.horizon, "ring events lost");
+        }
+    }
+
+    /// Advances the ring window to the earliest overflow event and
+    /// migrates every overflow event inside the new window into its
+    /// bucket (in `(time, seq)` order, preserving same-time FIFO).
+    #[cold]
+    fn rebase(&mut self) {
+        let t0 = self.overflow.peek().expect("len>0, ring empty").0.time;
+        self.cursor = t0;
+        self.horizon = t0 + NUM_BUCKETS as Cycle;
+        while let Some(e) = self.overflow.peek() {
+            if e.0.time >= self.horizon {
+                break;
+            }
+            let std::cmp::Reverse(e) = self.overflow.pop().expect("peeked");
+            self.buckets[(e.time as usize) & BUCKET_MASK].push_back((e.time, e.payload));
+            self.ring_len += 1;
+        }
     }
 
     /// Returns the time of the earliest pending event without removing it.
     pub fn peek_time(&self) -> Option<Cycle> {
-        self.heap.peek().map(|Reverse(e)| e.time)
+        if self.len == 0 {
+            return None;
+        }
+        if self.ring_len == 0 {
+            return self.overflow.peek().map(|e| e.0.time);
+        }
+        (self.cursor..self.horizon).find(|&t| !self.buckets[(t as usize) & BUCKET_MASK].is_empty())
     }
 
     /// Number of pending events.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// `true` when no events are pending.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// The timestamp of the most recently popped event (0 before any pop).
     ///
-    /// This is the queue's notion of "now"; pushes earlier than this panic.
+    /// This is the queue's notion of "now"; pushes earlier than this are
+    /// a bug (checked in debug builds).
+    #[inline]
     pub fn now(&self) -> Cycle {
         self.last_popped
     }
@@ -131,6 +226,12 @@ impl<T> EventQueue<T> {
     pub fn high_water(&self) -> usize {
         self.high_water
     }
+
+    /// Total events popped over the queue's lifetime (the denominator
+    /// of the bench harness's events/sec figure).
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
 }
 
 impl<T> Default for EventQueue<T> {
@@ -139,9 +240,116 @@ impl<T> Default for EventQueue<T> {
     }
 }
 
+/// The original binary-heap event queue, kept as a differential oracle:
+/// property tests drive it and [`EventQueue`] with identical schedules
+/// and assert identical pop sequences. Compiled only for tests or under
+/// the `legacy-heap` feature.
+#[cfg(any(test, feature = "legacy-heap"))]
+pub mod legacy {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    use crate::Cycle;
+
+    /// The pre-calendar [`EventQueue`](super::EventQueue): a binary
+    /// heap over `(time, push sequence)`.
+    #[derive(Debug)]
+    pub struct HeapEventQueue<T> {
+        heap: BinaryHeap<Reverse<Entry<T>>>,
+        seq: u64,
+        last_popped: Cycle,
+        high_water: usize,
+    }
+
+    #[derive(Debug)]
+    struct Entry<T> {
+        time: Cycle,
+        seq: u64,
+        payload: T,
+    }
+
+    impl<T> PartialEq for Entry<T> {
+        fn eq(&self, other: &Self) -> bool {
+            self.time == other.time && self.seq == other.seq
+        }
+    }
+    impl<T> Eq for Entry<T> {}
+    impl<T> PartialOrd for Entry<T> {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl<T> Ord for Entry<T> {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            (self.time, self.seq).cmp(&(other.time, other.seq))
+        }
+    }
+
+    impl<T> HeapEventQueue<T> {
+        /// Creates an empty queue.
+        pub fn new() -> Self {
+            HeapEventQueue {
+                heap: BinaryHeap::new(),
+                seq: 0,
+                last_popped: 0,
+                high_water: 0,
+            }
+        }
+
+        /// Schedules `payload` at absolute time `time`.
+        pub fn push(&mut self, time: Cycle, payload: T) {
+            debug_assert!(time >= self.last_popped, "event scheduled in the past");
+            let seq = self.seq;
+            self.seq += 1;
+            self.heap.push(Reverse(Entry { time, seq, payload }));
+            self.high_water = self.high_water.max(self.heap.len());
+        }
+
+        /// Removes and returns the earliest event, or `None` when empty.
+        pub fn pop(&mut self) -> Option<(Cycle, T)> {
+            let Reverse(e) = self.heap.pop()?;
+            self.last_popped = e.time;
+            Some((e.time, e.payload))
+        }
+
+        /// Returns the earliest pending time without removing it.
+        pub fn peek_time(&self) -> Option<Cycle> {
+            self.heap.peek().map(|Reverse(e)| e.time)
+        }
+
+        /// Number of pending events.
+        pub fn len(&self) -> usize {
+            self.heap.len()
+        }
+
+        /// `true` when no events are pending.
+        pub fn is_empty(&self) -> bool {
+            self.heap.is_empty()
+        }
+
+        /// The timestamp of the most recently popped event.
+        pub fn now(&self) -> Cycle {
+            self.last_popped
+        }
+
+        /// Peak number of pending events observed.
+        pub fn high_water(&self) -> usize {
+            self.high_water
+        }
+    }
+
+    impl<T> Default for HeapEventQueue<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::legacy::HeapEventQueue;
     use super::*;
+    use crate::SplitMix64;
 
     #[test]
     fn pops_in_time_order() {
@@ -189,7 +397,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "scheduled in the past")]
-    fn push_into_past_panics() {
+    fn push_into_past_panics_in_debug() {
         let mut q = EventQueue::new();
         q.push(10, ());
         q.pop();
@@ -217,5 +425,98 @@ mod tests {
         q.pop();
         q.push(10, 2);
         assert_eq!(q.pop(), Some((10, 2)));
+    }
+
+    #[test]
+    fn far_future_events_cross_the_overflow() {
+        let mut q = EventQueue::new();
+        // Far past the ring window, interleaved with near events.
+        q.push(1_000_000, "far-b");
+        q.push(3, "near");
+        q.push(1_000_000, "far-c");
+        q.push(999_999, "far-a");
+        assert_eq!(q.pop(), Some((3, "near")));
+        // Rebase jumps the window to the overflow minimum.
+        assert_eq!(q.peek_time(), Some(999_999));
+        assert_eq!(q.pop(), Some((999_999, "far-a")));
+        assert_eq!(q.pop(), Some((1_000_000, "far-b")));
+        assert_eq!(q.pop(), Some((1_000_000, "far-c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn overflow_then_ring_push_at_same_time_keeps_fifo() {
+        let mut q = EventQueue::new();
+        let t = 5_000; // beyond the initial window: goes to overflow
+        q.push(t, 0);
+        q.push(1, 99);
+        assert_eq!(q.pop(), Some((1, 99)));
+        assert_eq!(q.pop(), Some((t, 0))); // rebases; window now covers t
+        q.push(t, 1); // same cycle, now within the ring
+        q.push(t, 2);
+        assert_eq!(q.pop(), Some((t, 1)));
+        assert_eq!(q.pop(), Some((t, 2)));
+    }
+
+    #[test]
+    fn popped_counts_lifetime_pops() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.push(i, ());
+        }
+        while q.pop().is_some() {}
+        q.push(10, ());
+        q.pop();
+        assert_eq!(q.popped(), 6);
+    }
+
+    /// Differential property test: random interleaved push/pop schedules
+    /// must pop in identical order from the calendar queue and the
+    /// legacy heap oracle. Seeded `SplitMix64` keeps it reproducible.
+    #[test]
+    fn differential_vs_legacy_heap() {
+        for seed in 0..8u64 {
+            let mut rng = SplitMix64::new(0xD1FF ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut cal: EventQueue<u64> = EventQueue::new();
+            let mut heap: HeapEventQueue<u64> = HeapEventQueue::new();
+            let mut now: Cycle = 0;
+            let mut tag: u64 = 0;
+            for step in 0..20_000u64 {
+                if rng.gen_range(100) < 60 || cal.is_empty() {
+                    // Push: mostly near-future, occasionally far past the
+                    // ring window to exercise overflow and rebase.
+                    let delta = match rng.gen_range(20) {
+                        0 => rng.gen_range(100_000),                       // far future
+                        1..=4 => NUM_BUCKETS as u64 + rng.gen_range(4096), // straddle
+                        _ => rng.gen_range(64),                            // near
+                    };
+                    // Bursts of same-time events stress FIFO ordering.
+                    let burst = 1 + rng.gen_range(4);
+                    for _ in 0..burst {
+                        cal.push(now + delta, tag);
+                        heap.push(now + delta, tag);
+                        tag += 1;
+                    }
+                } else {
+                    let a = cal.pop();
+                    let b = heap.pop();
+                    assert_eq!(a, b, "divergence at step {step} (seed {seed})");
+                    if let Some((t, _)) = a {
+                        now = t;
+                    }
+                }
+                assert_eq!(cal.len(), heap.len());
+                assert_eq!(cal.peek_time(), heap.peek_time());
+            }
+            // Drain both completely.
+            loop {
+                let a = cal.pop();
+                let b = heap.pop();
+                assert_eq!(a, b, "drain divergence (seed {seed})");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
     }
 }

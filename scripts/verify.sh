@@ -47,6 +47,15 @@ if [ "$oversized" -ne 0 ]; then
     exit 1
 fi
 
+echo "==> criterion benches compile"
+cargo bench -p cmpsim-bench --features bench --no-run --quiet
+
+echo "==> throughput regression gate (scripts/bench.sh --check)"
+# Fails when any pinned suite entry falls >20% below the cycles/sec
+# committed in BENCH_PR5.json. CMPSIM_BENCH_NO_GATE=1 demotes to a
+# warning on machines the committed numbers don't represent.
+./scripts/bench.sh --check
+
 echo "==> parallel experiment driver is a pure wall-clock optimization"
 # Smoke-profile exp_all serial vs parallel: identical numbers, and the
 # parallel run must actually be parallel (faster on multi-core hosts).
