@@ -1,0 +1,254 @@
+//! `telemetry_tail` — attach to a live telemetry stream and render a
+//! refreshing console view of the simulator: per-stage wall-time bars,
+//! cycles/sec, and queue depths, one block per grid cell.
+//!
+//! ```text
+//! telemetry_tail [--once] [--wait SECS] [--refresh MS] PATH|-
+//! ```
+//!
+//! `PATH` is the Unix socket a simulator is serving via
+//! `--stream-telemetry=PATH`; `-` reads a stream from stdin (e.g.
+//! `cmpsim -q --stream-telemetry | telemetry_tail -`). `--wait` retries
+//! the connection until the socket exists (default 5 s), so the tail
+//! can be started before the sweep. `--once` prints one plain-text
+//! snapshot after the first host sample (or at end of stream) and
+//! exits — 0 only if a host sample was consumed, making it a cheap
+//! end-to-end check that streaming works.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader};
+
+use cmpsim_engine::profiler::{HostStage, TIMED_STAGES};
+use cmpsim_engine::stream::{frame_str, frame_u64, read_frame, STREAM_SCHEMA};
+
+struct Args {
+    once: bool,
+    wait_secs: u64,
+    refresh_ms: u64,
+    source: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        once: false,
+        wait_secs: 5,
+        refresh_ms: 250,
+        source: String::new(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--once" => args.once = true,
+            "--wait" => {
+                args.wait_secs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--wait expects seconds"));
+            }
+            "--refresh" => {
+                args.refresh_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage("--refresh expects milliseconds"));
+            }
+            other if !other.starts_with("--") => args.source = other.to_string(),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    if args.source.is_empty() {
+        usage("missing stream source (socket PATH or -)");
+    }
+    args
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!(
+        "telemetry_tail: {msg}\n\
+         usage: telemetry_tail [--once] [--wait SECS] [--refresh MS] PATH|-"
+    );
+    std::process::exit(2);
+}
+
+/// Latest known state of one grid cell, folded from its frames.
+#[derive(Default)]
+struct CellView {
+    workload: String,
+    policy: String,
+    cycles: u64,
+    cycles_per_sec: u64,
+    events_per_sec: u64,
+    eq_ring: u64,
+    eq_overflow: u64,
+    mshr_used: u64,
+    mshr_cap: u64,
+    wbq_depth: u64,
+    rss_kb: u64,
+    stage_ns: [u64; TIMED_STAGES],
+    host_samples: u64,
+    intervals: u64,
+    done: bool,
+}
+
+fn ingest(cells: &mut BTreeMap<u64, CellView>, json: &str) -> bool {
+    let cell = frame_u64(json, "cell").unwrap_or(0);
+    let view = cells.entry(cell).or_default();
+    match frame_str(json, "type") {
+        Some("run_start") => {
+            view.workload = frame_str(json, "workload").unwrap_or("?").to_string();
+            view.policy = frame_str(json, "policy").unwrap_or("?").to_string();
+            view.done = false;
+        }
+        Some("interval") => {
+            view.intervals += 1;
+            if let Some(end) = frame_u64(json, "end") {
+                view.cycles = view.cycles.max(end);
+            }
+        }
+        Some("host_sample") => {
+            view.host_samples += 1;
+            let get = |k| frame_u64(json, k).unwrap_or(0);
+            view.cycles = view.cycles.max(get("cycles"));
+            view.cycles_per_sec = get("cycles_per_sec");
+            view.events_per_sec = get("events_per_sec");
+            view.eq_ring = get("eq_ring_len");
+            view.eq_overflow = get("eq_overflow_len");
+            view.mshr_used = get("mshr_used");
+            view.mshr_cap = get("mshr_cap");
+            view.wbq_depth = get("wbq_depth");
+            view.rss_kb = get("rss_kb");
+            for st in HostStage::all().iter().take(TIMED_STAGES) {
+                view.stage_ns[*st as usize] =
+                    frame_u64(json, &format!("{}_ns", st.as_str())).unwrap_or(0);
+            }
+            return true;
+        }
+        Some("run_end") => {
+            view.done = true;
+            if let Some(c) = frame_u64(json, "cycles") {
+                view.cycles = view.cycles.max(c);
+            }
+        }
+        _ => {} // unknown types are forward-compatible: skip
+    }
+    false
+}
+
+fn render(cells: &BTreeMap<u64, CellView>) -> String {
+    let mut out = String::new();
+    for (id, v) in cells {
+        let status = if v.done { "done" } else { "running" };
+        out.push_str(&format!(
+            "cell {id} {}/{} [{status}]  {:.1}M cycles  {:.2}M cyc/s  {:.2}M ev/s\n",
+            v.workload,
+            v.policy,
+            v.cycles as f64 / 1e6,
+            v.cycles_per_sec as f64 / 1e6,
+            v.events_per_sec as f64 / 1e6,
+        ));
+        out.push_str(&format!(
+            "  queues: eq ring {} + overflow {}, mshr {}/{}, wbq {}  rss {} kB  \
+             ({} host samples, {} intervals)\n",
+            v.eq_ring,
+            v.eq_overflow,
+            v.mshr_used,
+            v.mshr_cap,
+            v.wbq_depth,
+            v.rss_kb,
+            v.host_samples,
+            v.intervals,
+        ));
+        let attributed: u64 = v.stage_ns.iter().sum();
+        if attributed > 0 {
+            for st in HostStage::all().iter().take(TIMED_STAGES) {
+                let share = v.stage_ns[*st as usize] as f64 / attributed as f64;
+                let bar = "#".repeat((share * 30.0).round() as usize);
+                out.push_str(&format!(
+                    "  {:<12} {:>5.1}% |{bar:<30}|\n",
+                    st.as_str(),
+                    share * 100.0
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn open_source(args: &Args) -> Box<dyn BufRead> {
+    if args.source == "-" {
+        return Box::new(BufReader::new(std::io::stdin()));
+    }
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(args.wait_secs);
+    loop {
+        match std::os::unix::net::UnixStream::connect(&args.source) {
+            Ok(s) => return Box::new(BufReader::new(s)),
+            Err(e) => {
+                if std::time::Instant::now() >= deadline {
+                    eprintln!("telemetry_tail: {}: {e}", args.source);
+                    std::process::exit(1);
+                }
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut reader = open_source(&args);
+
+    let hello = match read_frame(&mut reader) {
+        Ok(Some(h)) => h,
+        Ok(None) => {
+            eprintln!("telemetry_tail: stream closed before the hello frame");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("telemetry_tail: bad frame: {e}");
+            std::process::exit(1);
+        }
+    };
+    if frame_str(&hello, "type") != Some("hello")
+        || frame_str(&hello, "schema") != Some(STREAM_SCHEMA)
+    {
+        eprintln!("telemetry_tail: unsupported stream header: {hello}");
+        std::process::exit(1);
+    }
+
+    let mut cells: BTreeMap<u64, CellView> = BTreeMap::new();
+    let mut saw_host_sample = false;
+    let mut last_draw = std::time::Instant::now();
+    let refresh = std::time::Duration::from_millis(args.refresh_ms);
+    loop {
+        match read_frame(&mut reader) {
+            Ok(Some(json)) => {
+                saw_host_sample |= ingest(&mut cells, &json);
+                if args.once {
+                    if saw_host_sample {
+                        break;
+                    }
+                    continue;
+                }
+                if last_draw.elapsed() >= refresh {
+                    last_draw = std::time::Instant::now();
+                    // Clear screen + home, then the current view.
+                    print!("\x1b[2J\x1b[H{}", render(&cells));
+                    use std::io::Write as _;
+                    let _ = std::io::stdout().flush();
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                eprintln!("telemetry_tail: bad frame: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    // Final plain snapshot (also the entire output under --once).
+    print!("{}", render(&cells));
+    if args.once && !saw_host_sample {
+        eprintln!("telemetry_tail: stream ended without a host sample");
+        std::process::exit(1);
+    }
+}

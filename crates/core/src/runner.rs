@@ -1,8 +1,11 @@
 //! Convenience runner producing a complete report per simulation.
 
 use cmpsim_engine::metrics::MetricsRegistry;
+use cmpsim_engine::profiler::{HostProfiler, HostReport};
+use cmpsim_engine::progress::ProgressMeter;
 use cmpsim_engine::spans::{SpanRecord, SpanSummary, SpanTracer};
-use cmpsim_engine::telemetry::{IntervalRecord, Telemetry};
+use cmpsim_engine::stream::TelemetryStream;
+use cmpsim_engine::telemetry::{IntervalRecord, Telemetry, DEFAULT_INTERVAL};
 use cmpsim_engine::Cycle;
 use cmpsim_trace::{Workload, WorkloadParams};
 
@@ -40,6 +43,11 @@ pub struct RunReport {
     /// Span accounting (counts + per-fill-source latency histograms),
     /// when span tracing was enabled.
     pub span_summary: Option<SpanSummary>,
+    /// Host-side profiling summary (stage attribution, gauges, peak
+    /// RSS), when host profiling was enabled. Deliberately kept out of
+    /// [`RunReport::metrics`]: wall-clock numbers must never perturb the
+    /// byte-stable JSON/CSV exports.
+    pub host: Option<HostReport>,
 }
 
 impl RunReport {
@@ -140,6 +148,16 @@ pub struct RunSpec {
     pub interval_stats: Option<Cycle>,
     /// Transaction span tracer (disabled by default: zero cost).
     pub span_tracer: SpanTracer,
+    /// Host-side wall-clock profiler (disabled by default: zero cost).
+    /// When enabled with no `interval_stats` period, sampling falls back
+    /// to [`DEFAULT_INTERVAL`] so the gauges have a cadence.
+    pub host_profiler: HostProfiler,
+    /// Live telemetry stream (disabled by default: zero cost).
+    pub stream: TelemetryStream,
+    /// Cell id tagged on this run's streamed frames (grid multiplexing).
+    pub stream_cell: u64,
+    /// `--progress` heartbeat period in wall seconds, when set.
+    pub progress_secs: Option<f64>,
 }
 
 impl RunSpec {
@@ -154,6 +172,10 @@ impl RunSpec {
             telemetry: Telemetry::disabled(),
             interval_stats: None,
             span_tracer: SpanTracer::disabled(),
+            host_profiler: HostProfiler::disabled(),
+            stream: TelemetryStream::disabled(),
+            stream_cell: 0,
+            progress_secs: None,
         }
     }
 }
@@ -186,12 +208,27 @@ pub fn run(spec: RunSpec) -> Result<RunReport, SystemError> {
     if spec.telemetry.is_enabled() {
         sys.set_telemetry(spec.telemetry.clone());
     }
-    if let Some(period) = spec.interval_stats {
-        sys.enable_interval_sampling(period);
+    let observing = spec.host_profiler.is_enabled() || spec.stream.is_enabled();
+    match spec.interval_stats {
+        Some(period) => sys.enable_interval_sampling(period),
+        // Host observation samples on the interval cadence, so give it
+        // one; the sampler only reads counters, never changes them.
+        None if observing => sys.enable_interval_sampling(DEFAULT_INTERVAL),
+        None => {}
     }
     let tracing = spec.span_tracer.is_enabled();
     if tracing {
         sys.set_span_tracer(spec.span_tracer.clone());
+    }
+    let profiling = spec.host_profiler.is_enabled();
+    if profiling {
+        sys.set_host_profiler(spec.host_profiler.clone());
+    }
+    if spec.stream.is_enabled() {
+        sys.set_stream(spec.stream.clone(), spec.stream_cell);
+    }
+    if let Some(secs) = spec.progress_secs {
+        sys.set_progress(ProgressMeter::new(secs));
     }
     let stats = sys.run(spec.refs_per_thread);
     Ok(RunReport {
@@ -211,6 +248,7 @@ pub fn run(spec: RunSpec) -> Result<RunReport, SystemError> {
             Vec::new()
         },
         span_summary: tracing.then(|| spec.span_tracer.summary()),
+        host: profiling.then(|| spec.host_profiler.report()),
     })
 }
 

@@ -92,8 +92,18 @@ impl System {
         self.spans.mark(sid, SpanPhase::RingArb, now + arb_wait);
         self.spans.mark(sid, SpanPhase::RingTransit, t_ring);
 
-        // Snoop phase.
+        // Snoop phase. When the host profiler sampled this dispatch, the
+        // snoop window's wall time is carved out of the enclosing stage
+        // and billed to `HostStage::Snoop` by the event loop.
+        let t_snoop = if self.host_sampling {
+            cmpsim_engine::profiler::now_ticks()
+        } else {
+            0
+        };
         let (responses, t_collect) = self.collect_miss_snoops(&txn, t_ring);
+        if self.host_sampling {
+            self.host_nested += cmpsim_engine::profiler::now_ticks().saturating_sub(t_snoop);
+        }
 
         let combined = self.collector.combine(&txn, &responses);
         self.snoop_scratch = responses;

@@ -75,7 +75,17 @@ impl System {
         self.spans.mark(sid, SpanPhase::RingTransit, t_ring);
 
         // Snoop phase (squash/snarf responses: see the snoop layer).
+        // Wall time here is carved out for `HostStage::Snoop` when the
+        // host profiler sampled this dispatch.
+        let t_snoop = if self.host_sampling {
+            cmpsim_engine::profiler::now_ticks()
+        } else {
+            0
+        };
         let (responses, t_collect) = self.collect_castout_snoops(&txn, dirty, t_ring);
+        if self.host_sampling {
+            self.host_nested += cmpsim_engine::profiler::now_ticks().saturating_sub(t_snoop);
+        }
 
         let combined = self.collector.combine(&txn, &responses);
         self.snoop_scratch = responses;

@@ -4,7 +4,10 @@
 
 use cmpsim_cache::LineAddr;
 use cmpsim_coherence::L2State;
+use cmpsim_engine::profiler::{HostGauges, HostProfiler};
+use cmpsim_engine::progress::ProgressMeter;
 use cmpsim_engine::spans::SpanTracer;
+use cmpsim_engine::stream::TelemetryStream;
 use cmpsim_engine::telemetry::{IntervalRecord, IntervalSampler, SimEvent, Telemetry};
 use cmpsim_engine::Cycle;
 use cmpsim_mem::{L3Cache, MemoryController};
@@ -71,9 +74,37 @@ impl System {
         self.sampler.as_ref().map_or(&[], |s| s.records())
     }
 
+    /// Attaches a host-side wall-clock profiler. The event loop switches
+    /// to its instrumented path and the gauges are sampled on the
+    /// interval-sampler cadence (pass a clone and keep the original to
+    /// read the [`HostProfiler::report`] after the run, mirroring
+    /// [`set_span_tracer`](Self::set_span_tracer)).
+    pub fn set_host_profiler(&mut self, host: HostProfiler) {
+        self.host = host;
+    }
+
+    /// The attached host profiler (disabled unless
+    /// [`set_host_profiler`](Self::set_host_profiler) was called).
+    pub fn host_profiler(&self) -> &HostProfiler {
+        &self.host
+    }
+
+    /// Attaches a live telemetry stream; every frame this system sends
+    /// is tagged with `cell` so one stream can multiplex a whole grid.
+    pub fn set_stream(&mut self, stream: TelemetryStream, cell: u64) {
+        self.stream = stream;
+        self.stream_cell = cell;
+    }
+
+    /// Enables the `--progress` stderr heartbeat.
+    pub fn set_progress(&mut self, meter: ProgressMeter) {
+        self.progress = Some(meter);
+    }
+
     /// Closes passed sampler window(s) at `now` (`finish` also closes
-    /// the trailing partial window) and mirrors each new record into the
-    /// event trace.
+    /// the trailing partial window), mirrors each new record into the
+    /// event trace and the live stream, and takes a host-profiler
+    /// sample on the same cadence.
     pub(super) fn close_intervals(&mut self, now: Cycle, finish: bool) {
         let snapshot = self.counter_snapshot();
         let Some(sampler) = &mut self.sampler else {
@@ -85,12 +116,92 @@ impl System {
         } else {
             sampler.sample(now, &snapshot);
         }
+        let mut closed_any = false;
         for rec in &sampler.records()[already..] {
+            closed_any = true;
             self.telemetry.emit(rec.end, || SimEvent::Interval {
                 start: rec.start,
                 end: rec.end,
                 counters: rec.counters.clone(),
             });
+            self.stream.send_interval(self.stream_cell, rec);
+        }
+        if closed_any {
+            self.host_tick(now);
+        }
+    }
+
+    /// Takes one host-profiler sample (gauges + cumulative attribution)
+    /// and pushes it onto the live stream. No-op when profiling is off.
+    pub(super) fn host_tick(&mut self, now: Cycle) {
+        if !self.host.is_enabled() {
+            return;
+        }
+        let gauges = self.host_gauges(now);
+        if let Some(sample) = self.host.sample(gauges) {
+            self.stream.send_host_sample(self.stream_cell, &sample);
+        }
+    }
+
+    /// Snapshot of the simulator-side occupancy gauges the host
+    /// profiler records alongside its wall-time attribution.
+    fn host_gauges(&self, now: Cycle) -> HostGauges {
+        let mut mshr_used = 0u64;
+        let mut mshr_cap = 0u64;
+        let mut wbq_depth = 0u64;
+        for l2 in &self.l2s {
+            mshr_used += l2.mshrs.len() as u64;
+            mshr_cap += l2.mshrs.capacity() as u64;
+            wbq_depth += l2.wbq.len() as u64;
+        }
+        HostGauges {
+            cycles: now,
+            events: self.queue.popped(),
+            eq_len: self.queue.len() as u64,
+            eq_ring_len: self.queue.ring_len() as u64,
+            eq_overflow_len: self.queue.overflow_len() as u64,
+            mshr_used,
+            mshr_cap,
+            wbq_depth,
+        }
+    }
+
+    /// Streams the run-start frame (no-op when streaming is off).
+    pub(super) fn stream_run_start(&mut self, refs_per_thread: u64) {
+        if self.stream.is_enabled() {
+            self.stream.send_run_start(
+                self.stream_cell,
+                self.workload.name(),
+                self.cfg.policy.label(),
+                refs_per_thread,
+            );
+        }
+    }
+
+    /// End-of-run host observation: guarantees at least one host sample
+    /// per profiled run (short runs may never cross an interval
+    /// boundary) and streams the run-end frame.
+    pub(super) fn finish_host_observation(&mut self) {
+        if self.host.is_enabled() && self.host.samples().is_empty() {
+            self.host_tick(self.stats.cycles);
+        }
+        if self.stream.is_enabled() {
+            self.stream
+                .send_run_end(self.stream_cell, self.stats.cycles, self.queue.popped());
+        }
+    }
+
+    /// Emits the `--progress` heartbeat when its period has elapsed
+    /// (polled from the event loop on an event-count stride).
+    pub(super) fn progress_beat(&mut self) {
+        let (mut done, mut total) = (0u64, 0u64);
+        for t in &self.threads {
+            done += t.issued;
+            total += t.limit;
+        }
+        let cycles = self.queue.now();
+        if let Some(meter) = &mut self.progress {
+            meter.maybe_beat(cycles, done, total);
         }
     }
 

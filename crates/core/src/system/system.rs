@@ -5,7 +5,10 @@
 use cmpsim_cache::LineAddr;
 use cmpsim_coherence::{L2Id, L2State, SnoopCollector, SnoopResponse, TxnId, TxnState};
 use cmpsim_engine::hash::{FxHashMap, FxHashSet};
+use cmpsim_engine::profiler::{now_ticks, ticks_to_ns, HostProfiler, HostStage};
+use cmpsim_engine::progress::ProgressMeter;
 use cmpsim_engine::spans::SpanTracer;
+use cmpsim_engine::stream::TelemetryStream;
 use cmpsim_engine::telemetry::{IntervalSampler, Telemetry};
 use cmpsim_engine::{Channel, Cycle, EventQueue};
 use cmpsim_mem::{L3Cache, MemoryController};
@@ -48,6 +51,21 @@ pub(super) enum Ev {
     },
     /// The L2's write-back queue drains its next entry.
     WbDrain(L2Id),
+}
+
+impl Ev {
+    /// The host-profiler attribution bucket this event's handler bills
+    /// to (the snoop window nested inside bus/castout handling is carved
+    /// out separately by the handlers themselves).
+    fn stage(&self) -> HostStage {
+        match self {
+            Ev::ThreadStep(_) => HostStage::Frontend,
+            Ev::BusIssue(state) if state.txn.kind.is_castout() => HostStage::Castout,
+            Ev::BusIssue(_) => HostStage::BusIssue,
+            Ev::Fill { .. } | Ev::SnarfFill { .. } => HostStage::Fill,
+            Ev::WbDrain(_) => HostStage::Castout,
+        }
+    }
 }
 
 /// The modelled chip multiprocessor (paper Figure 1): 8 two-way-SMT
@@ -134,6 +152,22 @@ pub struct System {
     /// Transaction span tracer. Disabled by default: one dead branch per
     /// instrumentation site, mirroring `telemetry`.
     pub(super) spans: SpanTracer,
+    /// Host-side wall-clock profiler. Disabled by default: the event
+    /// loop then runs its uninstrumented path.
+    pub(super) host: HostProfiler,
+    /// True only while the profiler is timing the current dispatch;
+    /// gates the nested snoop-window clock reads in the handlers.
+    pub(super) host_sampling: bool,
+    /// Clock ticks the current sampled dispatch spent inside snoop
+    /// collection (subtracted from the outer stage, credited to Snoop).
+    pub(super) host_nested: u64,
+    /// Live telemetry stream (interval + host-sample frames). Disabled
+    /// by default.
+    pub(super) stream: TelemetryStream,
+    /// Cell id tagged on every streamed frame (grid multiplexing).
+    pub(super) stream_cell: u64,
+    /// Progress heartbeat for long runs. Off by default.
+    pub(super) progress: Option<ProgressMeter>,
 }
 
 /// Errors from building a [`System`].
@@ -283,6 +317,12 @@ impl System {
             telemetry: Telemetry::disabled(),
             sampler: None,
             spans: SpanTracer::disabled(),
+            host: HostProfiler::disabled(),
+            host_sampling: false,
+            host_nested: 0,
+            stream: TelemetryStream::disabled(),
+            stream_cell: 0,
+            progress: None,
         })
     }
 
@@ -311,7 +351,44 @@ impl System {
         for t in ThreadId::all(n) {
             self.queue.push(start, Ev::ThreadStep(t));
         }
-        while let Some((now, ev)) = self.queue.pop() {
+        self.stream_run_start(refs_per_thread);
+        if self.host.is_enabled() {
+            self.run_loop_profiled();
+        } else {
+            self.run_loop_plain();
+        }
+        self.finalize_stats();
+        if self.sampler.is_some() {
+            self.close_intervals(self.stats.cycles, true);
+        }
+        self.finish_host_observation();
+        self.telemetry.flush();
+        self.stats.clone()
+    }
+
+    /// The uninstrumented event loop: exactly the pre-profiler hot path
+    /// (one dead branch each for the sampler and the progress meter), so
+    /// runs with host observability off stay byte-identical and full
+    /// speed.
+    fn run_loop_plain(&mut self) {
+        // u64::MAX never decrements to zero, so the budget check is a
+        // never-taken branch and this is the whole event loop.
+        self.run_chunk_plain(u64::MAX);
+    }
+
+    /// Runs up to `budget` untimed event-loop iterations; returns
+    /// `false` once the queue is exhausted. Out of line on purpose: the
+    /// plain and profiled loops share this one copy of the hot path, so
+    /// enabling the profiler cannot shift its code layout — the only
+    /// added cost per untimed event is the budget decrement.
+    #[inline(never)]
+    fn run_chunk_plain(&mut self, budget: u64) -> bool {
+        let mut n = budget;
+        while n != 0 {
+            n -= 1;
+            let Some((now, ev)) = self.queue.pop() else {
+                return false;
+            };
             self.dispatch(now, ev);
             // Debug builds sweep coherence invariants on a stride: the
             // full-cache walk is O(resident lines), so doing it on every
@@ -324,13 +401,92 @@ impl System {
             if self.sampler.as_ref().is_some_and(|s| s.due(now)) {
                 self.close_intervals(now, false);
             }
+            if self.progress.is_some() && self.queue.popped() & 0x1FFF == 0 {
+                self.progress_beat();
+            }
         }
-        self.finalize_stats();
-        if self.sampler.is_some() {
-            self.close_intervals(self.stats.cycles, true);
+        true
+    }
+
+    /// The profiled event loop: times one full iteration out of every
+    /// `stride` (pop → dispatch → observation tail) and scales the
+    /// observed ticks up, so per-stage attribution converges on the true
+    /// wall-time split while the untimed iterations pay only a counter
+    /// decrement over [`run_loop_plain`](Self::run_loop_plain).
+    fn run_loop_profiled(&mut self) {
+        let host = self.host.clone();
+        let stride = u64::from(host.stride());
+        // At stride 1 the timed windows tile the loop: each iteration
+        // reuses the previous one's closing timestamp as its opening
+        // one, so the profiler's own accounting cost is attributed (to
+        // `EventQueue`) instead of leaking into the coverage residual.
+        let contiguous = stride == 1;
+        let mut carry = 0u64;
+        // Measured with the same clock the stage samples use, so any
+        // TSC calibration error cancels out of the coverage ratio.
+        let run_wall = now_ticks();
+        loop {
+            if !self.profiled_iteration(&host, contiguous, &mut carry) {
+                break;
+            }
+            // stride - 1 untimed iterations through the shared hot path.
+            if !self.run_chunk_plain(stride - 1) {
+                break;
+            }
         }
-        self.telemetry.flush();
-        self.stats.clone()
+        host.record_run_wall(ticks_to_ns(now_ticks().saturating_sub(run_wall)));
+    }
+
+    /// One timed event-loop iteration (see
+    /// [`run_loop_profiled`](Self::run_loop_profiled)). Kept out of line
+    /// so the untimed fast path optimizes like the plain loop; at large
+    /// strides virtually every iteration takes that path.
+    #[inline(never)]
+    fn profiled_iteration(
+        &mut self,
+        host: &HostProfiler,
+        contiguous: bool,
+        carry: &mut u64,
+    ) -> bool {
+        let t_pop = if contiguous && *carry != 0 {
+            *carry
+        } else {
+            now_ticks()
+        };
+        let Some((now, ev)) = self.queue.pop() else {
+            return false;
+        };
+        let t_dispatch = now_ticks();
+        let stage = ev.stage();
+        self.host_sampling = true;
+        self.host_nested = 0;
+        self.dispatch(now, ev);
+        self.host_sampling = false;
+        let t_observe = now_ticks();
+        let nested = self.host_nested;
+        #[cfg(debug_assertions)]
+        if self.queue.popped() & 0x3FF == 0 {
+            self.assert_invariants();
+        }
+        if self.sampler.as_ref().is_some_and(|s| s.due(now)) {
+            self.close_intervals(now, false);
+        }
+        if self.progress.is_some() && self.queue.popped() & 0x1FFF == 0 {
+            self.progress_beat();
+        }
+        let t_done = now_ticks();
+        *carry = t_done;
+        host.add_sampled(HostStage::EventQueue, t_dispatch.saturating_sub(t_pop), 1);
+        host.add_sampled(
+            stage,
+            t_observe.saturating_sub(t_dispatch).saturating_sub(nested),
+            1,
+        );
+        if nested > 0 {
+            host.add_sampled(HostStage::Snoop, nested, 1);
+        }
+        host.add_sampled(HostStage::Observe, t_done.saturating_sub(t_observe), 0);
+        true
     }
 
     /// Routes one event to its phase module.

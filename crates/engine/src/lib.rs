@@ -44,11 +44,14 @@
 pub mod hash;
 mod interval;
 pub mod metrics;
+pub mod profiler;
+pub mod progress;
 pub mod queue;
 mod resource;
 mod rng;
 pub mod spans;
 pub mod stats;
+pub mod stream;
 pub mod telemetry;
 
 pub use queue::EventQueue;

@@ -227,6 +227,17 @@ impl<T> EventQueue<T> {
         self.high_water
     }
 
+    /// Pending events in the near-future bucket ring (occupancy gauge
+    /// for the host profiler; `len() - overflow_len()`).
+    pub fn ring_len(&self) -> usize {
+        self.ring_len
+    }
+
+    /// Pending events parked in the far-future overflow heap.
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.len()
+    }
+
     /// Total events popped over the queue's lifetime (the denominator
     /// of the bench harness's events/sec figure).
     pub fn popped(&self) -> u64 {
@@ -384,6 +395,23 @@ mod tests {
         q.pop();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn ring_and_overflow_occupancy_gauges() {
+        let mut q = EventQueue::new();
+        q.push(1, ()); // near future: bucket ring
+        q.push(2, ());
+        q.push(1_000_000, ()); // far future: overflow heap
+        assert_eq!(q.ring_len(), 2);
+        assert_eq!(q.overflow_len(), 1);
+        assert_eq!(q.len(), q.ring_len() + q.overflow_len());
+        q.pop();
+        q.pop();
+        // Popping across the horizon migrates the overflow event in.
+        assert_eq!(q.pop(), Some((1_000_000, ())));
+        assert_eq!(q.ring_len(), 0);
+        assert_eq!(q.overflow_len(), 0);
     }
 
     #[test]

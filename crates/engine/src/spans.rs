@@ -488,6 +488,19 @@ fn push_event(
 /// event per phase segment. One event per line, so the output is both
 /// strictly valid JSON and trivially greppable.
 pub fn write_chrome_trace<W: Write>(spans: &[SpanRecord], w: &mut W) -> io::Result<()> {
+    write_chrome_trace_with(spans, &[], w)
+}
+
+/// Like [`write_chrome_trace`], with extra pre-rendered trace-event
+/// lines appended to the same JSON array — used to merge the host
+/// profiler's counter track
+/// ([`crate::profiler::chrome_host_events`]) into one timeline with the
+/// simulated spans.
+pub fn write_chrome_trace_with<W: Write>(
+    spans: &[SpanRecord],
+    extra: &[String],
+    w: &mut W,
+) -> io::Result<()> {
     let mut lines: Vec<String> = Vec::new();
     let mut l2s: Vec<u32> = spans.iter().map(|s| s.l2).collect();
     l2s.sort_unstable();
@@ -535,6 +548,7 @@ pub fn write_chrome_trace<W: Write>(spans: &[SpanRecord], w: &mut W) -> io::Resu
             );
         }
     }
+    lines.extend(extra.iter().cloned());
     writeln!(w, "[")?;
     for (i, line) in lines.iter().enumerate() {
         let sep = if i + 1 < lines.len() { "," } else { "" };
@@ -678,6 +692,27 @@ mod tests {
         assert!(text.contains("\"outcome\":\"fill_l3\""));
         assert!(text.contains("\"name\":\"l3_queue\""));
         assert!(text.contains("\"class\":\"queue\""));
+    }
+
+    #[test]
+    fn chrome_trace_with_extra_track_stays_valid_json() {
+        let spans = vec![sample_span()];
+        let extra = vec![
+            "{\"name\":\"host_stage_us\",\"ph\":\"C\",\"ts\":10,\"pid\":9999,\
+             \"args\":{\"frontend\":3}}"
+                .to_string(),
+        ];
+        let mut buf = Vec::new();
+        write_chrome_trace_with(&spans, &extra, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        // The extra track lands inside the array: the last event line is
+        // the host counter, un-comma'd, and its predecessor gained one.
+        let events: Vec<&str> = text.lines().filter(|l| l.starts_with('{')).collect();
+        assert_eq!(events.len(), 10);
+        assert!(events.last().unwrap().contains("host_stage_us"));
+        assert!(events.last().unwrap().ends_with('}'));
+        assert!(events[events.len() - 2].ends_with("},"));
     }
 
     #[test]

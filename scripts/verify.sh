@@ -56,6 +56,32 @@ echo "==> throughput regression gate (scripts/bench.sh --check)"
 # warning on machines the committed numbers don't represent.
 ./scripts/bench.sh --check
 
+echo "==> profiler overhead gate (bench_throughput --overhead-check)"
+# The host profiler + telemetry stream at default settings must cost at
+# most 3% cycles/sec. CMPSIM_BENCH_NO_GATE=1 demotes to a warning.
+./target/release/bench_throughput --overhead-check
+
+echo "==> live telemetry stream smoke (profile_report + telemetry_tail)"
+# End to end: a --jobs 2 grid serves frames on a Unix socket while a
+# tail attaches, consumes at least one host sample, and exits 0.
+tel_sock="./target/verify-telemetry.sock"
+rm -f "$tel_sock"
+CMPSIM_PROFILE=smoke ./target/release/profile_report --jobs 2 \
+    --stream-telemetry="$tel_sock" --wait-client 15 --check >/dev/null &
+tel_pid=$!
+if ! ./target/release/telemetry_tail --once --wait 15 "$tel_sock" >/dev/null; then
+    kill "$tel_pid" 2>/dev/null || true
+    rm -f "$tel_sock"
+    echo "verify: FAILED — telemetry_tail could not consume a live host sample" >&2
+    exit 1
+fi
+if ! wait "$tel_pid"; then
+    rm -f "$tel_sock"
+    echo "verify: FAILED — profile_report failed under a live stream (coverage < 95%?)" >&2
+    exit 1
+fi
+rm -f "$tel_sock"
+
 echo "==> parallel experiment driver is a pure wall-clock optimization"
 # Smoke-profile exp_all serial vs parallel: identical numbers, and the
 # parallel run must actually be parallel (faster on multi-core hosts).

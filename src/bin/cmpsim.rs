@@ -12,7 +12,9 @@
 //!        [--entries N] [--outstanding 1..6] [--refs N] [--scale N] [--seed N]
 //!        [--trace FILE] [--granularity N] [--global-wbht] [--csv] [--json]
 //!        [--trace-events FILE] [--interval-stats N]
-//!        [--trace-spans FILE] [--span-sample N] [--quiet] [--verbose]
+//!        [--trace-spans FILE] [--span-sample N]
+//!        [--profile-host] [--profile-stride N] [--stream-telemetry[=PATH]]
+//!        [--progress[=SECS]] [--quiet] [--verbose]
 //! ```
 
 use std::process::ExitCode;
@@ -20,8 +22,11 @@ use std::process::ExitCode;
 use cmp_hierarchies::adaptive::{
     PolicyConfig, RunReport, SnarfConfig, System, SystemConfig, UpdateScope, WbhtConfig,
 };
-use cmp_hierarchies::engine::spans::SpanTracer;
-use cmp_hierarchies::engine::telemetry::TelemetryConfig;
+use cmp_hierarchies::engine::profiler::{chrome_host_events, HostProfiler, DEFAULT_STRIDE};
+use cmp_hierarchies::engine::progress::ProgressMeter;
+use cmp_hierarchies::engine::spans::{write_chrome_trace_with, SpanTracer};
+use cmp_hierarchies::engine::stream::TelemetryStream;
+use cmp_hierarchies::engine::telemetry::{TelemetryConfig, DEFAULT_INTERVAL};
 use cmp_hierarchies::engine::Cycle;
 use cmp_hierarchies::trace::{file as trace_file, TracePlayback, Workload};
 
@@ -43,6 +48,11 @@ struct Args {
     interval_stats: Option<Cycle>,
     trace_spans: Option<String>,
     span_sample: u64,
+    profile_host: bool,
+    profile_stride: u32,
+    /// `Some(None)` = stream to stdout, `Some(Some(path))` = Unix socket.
+    stream_telemetry: Option<Option<String>>,
+    progress_secs: Option<f64>,
     quiet: bool,
     verbose: bool,
 }
@@ -66,6 +76,10 @@ impl Default for Args {
             interval_stats: None,
             trace_spans: None,
             span_sample: 1,
+            profile_host: false,
+            profile_stride: DEFAULT_STRIDE,
+            stream_telemetry: None,
+            progress_secs: None,
             quiet: false,
             verbose: false,
         }
@@ -108,13 +122,30 @@ fn parse_args() -> Result<Args, String> {
             "--span-sample" => {
                 args.span_sample = parse_num(&value("--span-sample")?)?.max(1);
             }
+            "--profile-host" => args.profile_host = true,
+            "--profile-stride" => {
+                args.profile_stride = parse_num(&value("--profile-stride")?)?.max(1) as u32;
+            }
+            "--stream-telemetry" => args.stream_telemetry = Some(None),
+            "--progress" => args.progress_secs = Some(5.0),
             "--quiet" | "-q" => args.quiet = true,
             "--verbose" | "-v" => args.verbose = true,
             "--help" | "-h" => {
                 println!("{}", HELP);
                 std::process::exit(0);
             }
-            other => return Err(format!("unknown flag {other} (try --help)")),
+            other => {
+                if let Some(path) = other.strip_prefix("--stream-telemetry=") {
+                    args.stream_telemetry = Some(Some(path.to_string()));
+                } else if let Some(secs) = other.strip_prefix("--progress=") {
+                    args.progress_secs = Some(
+                        secs.parse::<f64>()
+                            .map_err(|e| format!("bad --progress period {secs}: {e}"))?,
+                    );
+                } else {
+                    return Err(format!("unknown flag {other} (try --help)"));
+                }
+            }
         }
     }
     Ok(args)
@@ -152,16 +183,31 @@ OPTIONS:
         --trace-spans F    write per-transaction phase spans to F as a
                            Chrome trace-event JSON (open in Perfetto)
         --span-sample N    trace every Nth transaction span only [1]
-    -q, --quiet            suppress the human-readable report
+        --profile-host     attribute host wall-clock time per pipeline
+                           stage (summary on stderr; merged into
+                           --trace-spans as a separate Perfetto track)
+        --profile-stride N time 1 of every N event-loop iterations [32]
+        --stream-telemetry[=PATH]
+                           stream interval counters + host samples as
+                           length-prefixed NDJSON to stdout, or serve
+                           them on a Unix socket at PATH (attach with
+                           telemetry_tail; combine stdout mode with -q)
+        --progress[=SECS]  heartbeat to stderr every SECS wall-seconds
+                           (cycles, cycles/sec EMA, ETA) [5]
+    -q, --quiet            suppress the human-readable report (also
+                           silences --progress and the host summary)
     -v, --verbose          additionally print per-interval counter deltas
 
 OBSERVABILITY:
-    --trace-events, --interval-stats, and --trace-spans are zero-cost
-    when off. The JSONL event trace can be summarized with the
-    telemetry_report tool; span traces feed Perfetto and span_report:
+    --trace-events, --interval-stats, --trace-spans, --profile-host, and
+    --stream-telemetry are zero-cost when off. The JSONL event trace can
+    be summarized with the telemetry_report tool; span traces feed
+    Perfetto and span_report:
         cmpsim -p combined --trace-events out.jsonl --interval-stats 100000
         telemetry_report out.jsonl
-        cmpsim -p combined --trace-spans spans.json --span-sample 16";
+        cmpsim -p combined --trace-spans spans.json --span-sample 16
+        cmpsim -p combined --profile-host --trace-spans spans.json
+        cmpsim -q --stream-telemetry | telemetry_tail -";
 
 fn main() -> ExitCode {
     match real_main() {
@@ -253,6 +299,36 @@ fn real_main() -> Result<(), String> {
     if span_tracer.is_enabled() {
         sys.set_span_tracer(span_tracer.clone());
     }
+    // Streaming implies the profiler: HostSample frames (gauges, rates,
+    // per-stage attribution) are the payload a tail attaches for.
+    let host = if args.profile_host || args.stream_telemetry.is_some() {
+        HostProfiler::with_stride(args.profile_stride)
+    } else {
+        HostProfiler::disabled()
+    };
+    if host.is_enabled() {
+        sys.set_host_profiler(host.clone());
+    }
+    let stream = match &args.stream_telemetry {
+        None => TelemetryStream::disabled(),
+        Some(None) => TelemetryStream::stdout(),
+        Some(Some(path)) => TelemetryStream::listen_unix(std::path::Path::new(path))
+            .map_err(|e| format!("--stream-telemetry {path}: {e}"))?,
+    };
+    if stream.is_enabled() {
+        sys.set_stream(stream.clone(), 0);
+    }
+    // Host observation samples on the interval cadence; give it one when
+    // the user didn't pick a period (observation only — metrics and
+    // simulated behaviour are untouched).
+    if (host.is_enabled() || stream.is_enabled()) && args.interval_stats.is_none() {
+        sys.enable_interval_sampling(DEFAULT_INTERVAL);
+    }
+    if let Some(secs) = args.progress_secs {
+        if !args.quiet {
+            sys.set_progress(ProgressMeter::new(secs));
+        }
+    }
 
     let stats = sys.run(args.refs);
     telemetry.flush();
@@ -260,9 +336,15 @@ fn real_main() -> Result<(), String> {
     if let Some(path) = &args.trace_spans {
         let file = std::fs::File::create(path).map_err(|e| format!("--trace-spans {path}: {e}"))?;
         let mut w = std::io::BufWriter::new(file);
-        span_tracer
-            .write_chrome_trace(&mut w)
-            .map_err(|e| format!("--trace-spans {path}: {e}"))?;
+        write_chrome_trace_with(
+            &span_tracer.finished_spans(),
+            &chrome_host_events(&host.samples()),
+            &mut w,
+        )
+        .map_err(|e| format!("--trace-spans {path}: {e}"))?;
+    }
+    if host.is_enabled() && !args.quiet {
+        eprint!("{}", host.report().render());
     }
 
     let tracing_spans = span_tracer.is_enabled();
@@ -286,6 +368,7 @@ fn real_main() -> Result<(), String> {
             Vec::new()
         },
         span_summary: tracing_spans.then(|| span_tracer.summary()),
+        host: host.is_enabled().then(|| host.report()),
     };
     // One registry feeds every machine-readable format, so JSON and CSV
     // cannot drift apart (they once disagreed on which snarf counter the

@@ -1,0 +1,161 @@
+//! End-to-end host-observability tests: the telemetry stream is
+//! well-formed and deterministic (modulo wall-clock fields), the
+//! profiler and stream leave simulated behaviour byte-identical, and
+//! contiguous stride-1 attribution accounts for the whole run wall.
+
+use std::io::BufReader;
+
+use cmp_hierarchies::adaptive::{run, PolicyConfig, RunSpec, SystemConfig};
+use cmp_hierarchies::engine::profiler::HostProfiler;
+use cmp_hierarchies::engine::spans::SpanTracer;
+use cmp_hierarchies::engine::stream::{
+    frame_str, frame_u64, read_frame, SharedBuf, TelemetryStream, STREAM_SCHEMA,
+};
+use cmp_hierarchies::trace::Workload;
+
+fn base_spec(refs: u64) -> RunSpec {
+    let mut cfg = SystemConfig::scaled(16);
+    cfg.policy = PolicyConfig::Baseline;
+    RunSpec::for_workload(cfg, Workload::Trade2, refs)
+}
+
+fn collect_frames(buf: &SharedBuf) -> Vec<String> {
+    let bytes = buf.contents();
+    let mut r = BufReader::new(&bytes[..]);
+    let mut out = Vec::new();
+    while let Some(f) = read_frame(&mut r).expect("well-formed frame") {
+        out.push(f);
+    }
+    out
+}
+
+/// Wall-clock-dependent keys; everything else in a frame is a function
+/// of the simulation and must be byte-stable across runs.
+const VOLATILE_KEYS: &[&str] = &[
+    "wall_ns",
+    "cycles_per_sec",
+    "events_per_sec",
+    "rss_kb",
+    "frontend_ns",
+    "bus_issue_ns",
+    "snoop_ns",
+    "castout_ns",
+    "fill_ns",
+    "observe_ns",
+    "event_queue_ns",
+];
+
+fn mask_volatile(frame: &str) -> String {
+    let mut out = frame.to_string();
+    for key in VOLATILE_KEYS {
+        let needle = format!("\"{key}\":");
+        if let Some(at) = out.find(&needle) {
+            let start = at + needle.len();
+            let end = out[start..]
+                .find(|c: char| !c.is_ascii_digit())
+                .map_or(out.len(), |n| start + n);
+            out.replace_range(start..end, "0");
+        }
+    }
+    out
+}
+
+fn streamed_run(refs: u64) -> (Vec<String>, String) {
+    let buf = SharedBuf::new();
+    let mut spec = base_spec(refs);
+    spec.host_profiler = HostProfiler::with_stride(4);
+    spec.stream = TelemetryStream::to_writer(buf.clone());
+    let report = run(spec).unwrap();
+    (collect_frames(&buf), report.to_json())
+}
+
+#[test]
+fn stream_is_well_formed_and_deterministic() {
+    let (frames, json_a) = streamed_run(2_000);
+    let (frames_b, json_b) = streamed_run(2_000);
+
+    // Schema hello leads the stream.
+    let hello = &frames[0];
+    assert_eq!(frame_str(hello, "type"), Some("hello"));
+    assert_eq!(frame_str(hello, "schema"), Some(STREAM_SCHEMA));
+    assert_eq!(frame_u64(hello, "seq"), Some(0));
+
+    // Sequence numbers are strictly monotone and every type is known.
+    let mut prev_seq = None;
+    let mut saw = (false, false, false, false);
+    for f in &frames {
+        let seq = frame_u64(f, "seq").expect("every frame carries seq");
+        if let Some(p) = prev_seq {
+            assert!(seq > p, "seq went {p} -> {seq}");
+        }
+        prev_seq = Some(seq);
+        match frame_str(f, "type").expect("every frame carries type") {
+            "hello" => saw.0 = true,
+            "run_start" => saw.1 = true,
+            "interval" => {}
+            "host_sample" => saw.2 = true,
+            "run_end" => saw.3 = true,
+            other => panic!("unknown frame type {other}"),
+        }
+    }
+    assert_eq!(
+        saw,
+        (true, true, true, true),
+        "stream is missing a lifecycle frame kind"
+    );
+    assert_eq!(
+        frame_str(frames.last().unwrap(), "type"),
+        Some("run_end"),
+        "stream must end with run_end"
+    );
+
+    // Byte-stable modulo wall-clock fields, and the simulation metrics
+    // agree exactly.
+    assert_eq!(frames.len(), frames_b.len());
+    for (a, b) in frames.iter().zip(&frames_b) {
+        assert_eq!(mask_volatile(a), mask_volatile(b));
+    }
+    assert_eq!(json_a, json_b);
+}
+
+#[test]
+fn profiler_and_stream_leave_simulation_untouched() {
+    let mut plain = base_spec(2_000);
+    plain.span_tracer = SpanTracer::sampled(1);
+    let plain_report = run(plain).unwrap();
+
+    let mut observed = base_spec(2_000);
+    observed.span_tracer = SpanTracer::sampled(1);
+    observed.host_profiler = HostProfiler::with_stride(3);
+    observed.stream = TelemetryStream::to_writer(std::io::sink());
+    let observed_report = run(observed).unwrap();
+
+    // Identical metrics JSON and identical span records: observation
+    // has zero effect on what the simulated machine does.
+    assert_eq!(plain_report.to_json(), observed_report.to_json());
+    assert_eq!(plain_report.spans, observed_report.spans);
+    assert!(plain_report.host.is_none());
+    assert!(observed_report.host.is_some());
+}
+
+#[test]
+fn contiguous_stride_one_attribution_tiles_the_wall() {
+    let mut spec = base_spec(4_000);
+    spec.host_profiler = HostProfiler::with_stride(1);
+    let report = run(spec).unwrap();
+    let host = report.host.expect("profiler was enabled");
+    assert!(host.run_wall_ns > 0);
+    // At stride 1 the timed windows share boundaries, so the estimate
+    // has no sampling error — only the loop prologue/epilogue escapes.
+    let coverage = host.coverage();
+    assert!(
+        coverage > 0.90,
+        "stride-1 coverage should tile the wall, got {coverage:.3}"
+    );
+    // Every timed stage that claims events also claims time.
+    for (i, &ns) in host.stage_ns.iter().enumerate().take(7) {
+        if host.stage_events[i] > 0 {
+            assert!(ns > 0, "stage {i} has events but no time");
+        }
+    }
+}
