@@ -22,6 +22,9 @@
 //!                                       pinned case; fail (exit 1) when
 //!                                       the default observability stack
 //!                                       costs more than 3% cycles/sec
+//! bench_throughput --audit-overhead-check
+//!                                       same gate for the decision-audit
+//!                                       layer (--audit): at most 3%
 //! ```
 //!
 //! `CMPSIM_BENCH_NO_GATE=1` turns a `--check` or `--overhead-check`
@@ -298,14 +301,25 @@ fn cpu_now_ns() -> Option<u64> {
     text.split_whitespace().next()?.parse().ok()
 }
 
-/// The profiler-overhead gate: interleaves profiler-off and profiler-on
-/// runs of one pinned case and gates on the median of the per-pair
-/// on/off cycles-per-CPU-second ratios. On-CPU time (see
-/// [`cpu_now_ns`]) is immune to preemption, and adjacent runs share
-/// whatever cache pressure the machine is under, so per-pair ratios
-/// stay stable where absolute best-of wall comparisons flap. Passes
-/// while the observability stack costs at most 3%.
-fn overhead_check() -> bool {
+/// Runs one case with the decision-audit layer enabled — the exact
+/// configuration `cmpsim --audit` enables.
+fn run_case_audited(c: Case) -> (u64, u64) {
+    let cfg = config_for(c.scale, c.policy);
+    let params = c.workload.params(cfg.num_threads(), cfg.cache_scale());
+    let mut sys = System::new(cfg, params).expect("pinned case is valid");
+    sys.enable_decision_audit();
+    let stats = sys.run(c.refs);
+    (stats.cycles, sys.events_processed())
+}
+
+/// An on/off overhead gate: interleaves feature-off and feature-on runs
+/// of one pinned case and gates on the median of the per-pair on/off
+/// cycles-per-CPU-second ratios. On-CPU time (see [`cpu_now_ns`]) is
+/// immune to preemption, and adjacent runs share whatever cache
+/// pressure the machine is under, so per-pair ratios stay stable where
+/// absolute best-of wall comparisons flap. Passes while the feature
+/// costs at most 3%.
+fn paired_overhead_gate(what: &str, run_on: &dyn Fn(Case) -> (u64, u64)) -> bool {
     const PAIRS: usize = 25;
     let case = Case {
         workload: Workload::Trade2,
@@ -316,7 +330,7 @@ fn overhead_check() -> bool {
     // Warm both paths (caches, branch predictors, TSC calibration) so
     // neither side of the comparison pays first-run costs.
     run_case(case);
-    run_case_observed(case);
+    run_on(case);
     let timed = |run: &dyn Fn() -> (u64, u64)| {
         let cpu0 = cpu_now_ns();
         let t = Instant::now();
@@ -329,7 +343,7 @@ fn overhead_check() -> bool {
         cycles as f64 / ns as f64
     };
     let off_case = || run_case(case);
-    let on_case = || run_case_observed(case);
+    let on_case = || run_on(case);
     let mut ratios = Vec::with_capacity(PAIRS);
     let mut best_off = 0.0f64;
     let mut best_on = 0.0f64;
@@ -357,13 +371,21 @@ fn overhead_check() -> bool {
     let pass = median >= 0.97 || best_ratio >= 0.97;
     let verdict = if pass { "ok" } else { "TOO SLOW" };
     eprintln!(
-        "bench: profiler overhead: on/off cycles-per-cpu-second ratio {median:.3} \
+        "bench: {what} overhead: on/off cycles-per-cpu-second ratio {median:.3} \
          (median of {PAIRS} interleaved pairs, spread {:.3}..{:.3}), {best_ratio:.3} \
          (best-vs-best), floor 0.970 on either {verdict}",
         ratios.first().copied().unwrap_or(0.0),
         ratios.last().copied().unwrap_or(0.0),
     );
     pass
+}
+
+fn overhead_check() -> bool {
+    paired_overhead_gate("profiler", &run_case_observed)
+}
+
+fn audit_overhead_check() -> bool {
+    paired_overhead_gate("decision audit", &run_case_audited)
 }
 
 fn main() {
@@ -380,6 +402,19 @@ fn main() {
                 } else {
                     eprintln!(
                         "bench: observability overhead exceeds 3%; investigate, or \
+                         re-run with CMPSIM_BENCH_NO_GATE=1"
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("--audit-overhead-check") => {
+            if !audit_overhead_check() {
+                if std::env::var_os("CMPSIM_BENCH_NO_GATE").is_some() {
+                    eprintln!("bench: audit overhead gate bypassed (CMPSIM_BENCH_NO_GATE)");
+                } else {
+                    eprintln!(
+                        "bench: decision-audit overhead exceeds 3%; investigate, or \
                          re-run with CMPSIM_BENCH_NO_GATE=1"
                     );
                     std::process::exit(1);

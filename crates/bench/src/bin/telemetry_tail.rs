@@ -1,6 +1,7 @@
 //! `telemetry_tail` — attach to a live telemetry stream and render a
 //! refreshing console view of the simulator: per-stage wall-time bars,
-//! cycles/sec, and queue depths, one block per grid cell.
+//! cycles/sec, queue depths, and (when the run has `--audit` on)
+//! adaptive-decision quality, one block per grid cell.
 //!
 //! ```text
 //! telemetry_tail [--once] [--wait SECS] [--refresh MS] PATH|-
@@ -88,6 +89,12 @@ struct CellView {
     stage_ns: [u64; TIMED_STAGES],
     host_samples: u64,
     intervals: u64,
+    decisions: u64,
+    aborts_correct: u64,
+    aborts_mispredicted: u64,
+    snarfs_useful: u64,
+    snarfs_wasted: u64,
+    wbht_engaged: bool,
     done: bool,
 }
 
@@ -124,6 +131,15 @@ fn ingest(cells: &mut BTreeMap<u64, CellView>, json: &str) -> bool {
             }
             return true;
         }
+        Some("decision") => {
+            let get = |k| frame_u64(json, k).unwrap_or(0);
+            view.decisions = get("decisions");
+            view.aborts_correct = get("aborts_correct");
+            view.aborts_mispredicted = get("aborts_mispredicted");
+            view.snarfs_useful = get("snarfs_useful");
+            view.snarfs_wasted = get("snarfs_wasted");
+            view.wbht_engaged = get("engaged") != 0;
+        }
         Some("run_end") => {
             view.done = true;
             if let Some(c) = frame_u64(json, "cycles") {
@@ -159,6 +175,25 @@ fn render(cells: &BTreeMap<u64, CellView>) -> String {
             v.host_samples,
             v.intervals,
         ));
+        if v.decisions > 0 {
+            // Rates over *resolved* outcomes only; early in a run most
+            // decisions are still pending, so show "--" instead of a
+            // 0/0 artifact.
+            let rate = |num: u64, den: u64| {
+                if den == 0 {
+                    "--".to_string()
+                } else {
+                    format!("{:.0}%", 100.0 * num as f64 / den as f64)
+                }
+            };
+            out.push_str(&format!(
+                "  audit: {} wbht decisions [{}], abort precision {}, useful snarfs {}\n",
+                v.decisions,
+                if v.wbht_engaged { "engaged" } else { "off" },
+                rate(v.aborts_correct, v.aborts_correct + v.aborts_mispredicted),
+                rate(v.snarfs_useful, v.snarfs_useful + v.snarfs_wasted),
+            ));
+        }
         let attributed: u64 = v.stage_ns.iter().sum();
         if attributed > 0 {
             for st in HostStage::all().iter().take(TIMED_STAGES) {
@@ -250,5 +285,71 @@ fn main() {
     if args.once && !saw_host_sample {
         eprintln!("telemetry_tail: stream ended without a host sample");
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_throughput_first_sample_renders_finite() {
+        let mut cells = BTreeMap::new();
+        ingest(
+            &mut cells,
+            r#"{"type":"run_start","cell":0,"workload":"tp","policy":"combined"}"#,
+        );
+        // First sample window with nothing simulated yet: all rates 0.
+        let saw = ingest(
+            &mut cells,
+            r#"{"type":"host_sample","cell":0,"cycles":0,"cycles_per_sec":0,
+               "events_per_sec":0,"mshr_used":0,"mshr_cap":0,"wbq_depth":0}"#,
+        );
+        assert!(saw);
+        let out = render(&cells);
+        assert!(out.contains("0.00M cyc/s"), "{out}");
+        assert!(!out.contains("NaN") && !out.contains("inf"), "{out}");
+    }
+
+    #[test]
+    fn decision_frames_fold_into_the_view() {
+        let mut cells = BTreeMap::new();
+        ingest(
+            &mut cells,
+            r#"{"type":"decision","cell":3,"cycle":500,"decisions":10,"aborts":4,
+               "aborts_correct":3,"aborts_mispredicted":1,"allows_redundant":2,
+               "snarfs":5,"snarfs_useful":2,"snarfs_wasted":1,"engaged":1}"#,
+        );
+        let out = render(&cells);
+        assert!(out.contains("10 wbht decisions [engaged]"), "{out}");
+        assert!(out.contains("abort precision 75%"), "{out}");
+        assert!(out.contains("useful snarfs 67%"), "{out}");
+    }
+
+    #[test]
+    fn unresolved_decisions_render_dashes_not_nan() {
+        let mut cells = BTreeMap::new();
+        // Early frame: decisions recorded, nothing resolved yet (0/0).
+        ingest(
+            &mut cells,
+            r#"{"type":"decision","cell":0,"cycle":100,"decisions":7,"engaged":0}"#,
+        );
+        let out = render(&cells);
+        assert!(out.contains("7 wbht decisions [off]"), "{out}");
+        assert!(out.contains("abort precision --"), "{out}");
+        assert!(out.contains("useful snarfs --"), "{out}");
+        assert!(!out.contains("NaN"), "{out}");
+    }
+
+    #[test]
+    fn unknown_frame_types_are_skipped() {
+        let mut cells = BTreeMap::new();
+        assert!(!ingest(
+            &mut cells,
+            r#"{"type":"mystery","cell":0,"weird":1}"#
+        ));
+        // The cell exists (forward-compatible) but carries no data.
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[&0].decisions, 0);
     }
 }

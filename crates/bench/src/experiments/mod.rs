@@ -11,6 +11,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod policy_audit;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -131,6 +132,11 @@ pub fn all() -> Vec<Experiment> {
             id: "workloads",
             title: "Workload characterization (calibration evidence)",
             run: workloads_profile::run,
+        },
+        Experiment {
+            id: "policy-audit",
+            title: "Decision audit: WBHT abort precision and useful-snarf rate",
+            run: policy_audit::run,
         },
     ]
 }

@@ -42,4 +42,7 @@ pub mod system;
 pub use config::{L1Config, L3Organization, SystemConfig};
 pub use policy::{PolicyConfig, RetrySwitchConfig, SnarfConfig, UpdateScope, WbhtConfig};
 pub use runner::{run, RunReport, RunSpec};
-pub use system::{InvariantViolation, System, SystemError, SystemStats};
+pub use system::{
+    chrome_decision_events, DecisionAudit, DecisionAuditSummary, InvariantViolation,
+    L2DecisionStats, System, SystemError, SystemStats,
+};

@@ -234,6 +234,38 @@ mod tests {
     }
 
     #[test]
+    fn paper_threshold_boundaries_are_exact() {
+        // Paper defaults: 2000 retries / 1M cycles (§2.2). One retry
+        // short of the threshold must leave filtering off.
+        let d = RetrySwitchConfig::default();
+        let mut s = RetrySwitch::new(d);
+        for k in 0..1_999 {
+            s.record_retry(k);
+        }
+        assert!(!s.engaged(d.window), "1999 < 2000 must stay disengaged");
+        // Exactly 2000 engages at the window boundary, not a cycle
+        // before it (the one-window decision lag).
+        let mut s = RetrySwitch::new(d);
+        for k in 0..2_000 {
+            s.record_retry(k);
+        }
+        assert!(!s.engaged(d.window - 1), "decision lags the window");
+        assert!(s.engaged(d.window), "2000 >= 2000 engages at boundary");
+        assert!(s.engaged(2 * d.window - 1), "holds through the window");
+        // A quiet window flips it off exactly at the next boundary,
+        // and a busy one re-engages at its closing boundary.
+        assert!(!s.engaged(2 * d.window), "quiet window disengages");
+        for k in 0..2_000 {
+            s.record_retry(2 * d.window + k);
+        }
+        assert!(!s.engaged(3 * d.window - 1));
+        assert!(s.engaged(3 * d.window), "re-engages after busy window");
+        let (engaged, windows) = s.window_counts();
+        assert_eq!(windows, 3);
+        assert_eq!(engaged, 2, "windows 0 and 2 closed engaged");
+    }
+
+    #[test]
     fn paper_default() {
         let d = RetrySwitchConfig::default();
         assert_eq!(d.window, 1_000_000);

@@ -11,7 +11,7 @@ use cmpsim_trace::{Workload, WorkloadParams};
 
 use crate::config::SystemConfig;
 use crate::policy::{RetrySwitchConfig, SnarfStats, WbhtStats};
-use crate::system::{System, SystemError, SystemStats};
+use crate::system::{DecisionAuditSummary, System, SystemError, SystemStats};
 
 /// Everything one simulation run produced.
 #[derive(Debug, Clone)]
@@ -48,6 +48,10 @@ pub struct RunReport {
     /// [`RunReport::metrics`]: wall-clock numbers must never perturb the
     /// byte-stable JSON/CSV exports.
     pub host: Option<HostReport>,
+    /// Decision-quality audit aggregates, when the audit was enabled.
+    /// Registered into [`RunReport::metrics`] as an `audit_*` section —
+    /// only when present, so audited-off exports stay byte-identical.
+    pub audit: Option<DecisionAuditSummary>,
 }
 
 impl RunReport {
@@ -106,6 +110,9 @@ impl RunReport {
         if let Some(spans) = &self.span_summary {
             spans.register_into(&mut m);
         }
+        if let Some(audit) = &self.audit {
+            audit.register_into(&mut m);
+        }
         m
     }
 
@@ -158,6 +165,9 @@ pub struct RunSpec {
     pub stream_cell: u64,
     /// `--progress` heartbeat period in wall seconds, when set.
     pub progress_secs: Option<f64>,
+    /// Enables the decision-quality audit (disabled by default: zero
+    /// cost, byte-identical outputs).
+    pub audit: bool,
 }
 
 impl RunSpec {
@@ -176,6 +186,7 @@ impl RunSpec {
             stream: TelemetryStream::disabled(),
             stream_cell: 0,
             progress_secs: None,
+            audit: false,
         }
     }
 }
@@ -230,6 +241,9 @@ pub fn run(spec: RunSpec) -> Result<RunReport, SystemError> {
     if let Some(secs) = spec.progress_secs {
         sys.set_progress(ProgressMeter::new(secs));
     }
+    if spec.audit {
+        sys.enable_decision_audit();
+    }
     let stats = sys.run(spec.refs_per_thread);
     Ok(RunReport {
         workload: workload_name,
@@ -249,6 +263,7 @@ pub fn run(spec: RunSpec) -> Result<RunReport, SystemError> {
         },
         span_summary: tracing.then(|| spec.span_tracer.summary()),
         host: profiling.then(|| spec.host_profiler.report()),
+        audit: sys.decision_audit_summary(),
     })
 }
 
@@ -341,6 +356,59 @@ mod tests {
         assert!(json.contains("\"mshr_high_water\":"));
         assert!(json.contains("\"wbq_high_water\":"));
         assert!(json.contains("\"l3_read_queue_high_water\":"));
+    }
+
+    #[test]
+    fn audit_preserves_base_metrics_and_records_switch_state() {
+        use crate::policy::{PolicyConfig, SnarfConfig, WbhtConfig};
+
+        let mut cfg = SystemConfig::scaled(16);
+        cfg.policy = PolicyConfig::Combined(
+            WbhtConfig {
+                entries: 1024,
+                assoc: 16,
+                ..Default::default()
+            },
+            SnarfConfig {
+                entries: 1024,
+                ..Default::default()
+            },
+        );
+        cfg.max_outstanding = 6;
+        let plain = run(RunSpec::for_workload(cfg.clone(), Workload::Trade2, 2_000)).unwrap();
+        let mut spec = RunSpec::for_workload(cfg, Workload::Trade2, 2_000);
+        spec.audit = true;
+        let audited = run(spec).unwrap();
+        assert!(plain.audit.is_none());
+        // The audit must not perturb the simulation or the base export:
+        // the audited run's metrics minus the audit_* section are
+        // byte-identical to the plain run's.
+        let base_rows = plain.metrics().flat_rows();
+        let audited_rows: Vec<_> = audited
+            .metrics()
+            .flat_rows()
+            .into_iter()
+            .filter(|(name, _)| !name.starts_with("audit_"))
+            .collect();
+        assert_eq!(base_rows, audited_rows);
+        // Decision coverage: every clean-castout verdict is recorded
+        // with its retry-switch state, and every recorded decision gets
+        // an outcome by run end.
+        let a = audited.audit.as_ref().unwrap();
+        assert!(a.totals.wbht_decisions > 0, "no WBHT verdicts audited");
+        assert!(a.totals.snarfs > 0, "no snarf placements audited");
+        assert_eq!(
+            a.totals.decisions_engaged + a.totals.decisions_disengaged(),
+            a.totals.wbht_decisions
+        );
+        assert_eq!(
+            a.totals.aborts,
+            a.totals.aborts_correct + a.totals.aborts_mispredicted
+        );
+        assert!((a.resolved_coverage() - 1.0).abs() < 1e-12);
+        let json = audited.to_json();
+        assert!(json.contains("\"audit_abort_precision\":"));
+        assert!(json.contains("\"audit_useful_snarf_rate\":"));
     }
 
     #[test]

@@ -269,6 +269,17 @@ impl System {
         self.spans.mark(sid, SpanPhase::DataReturn, t_fill);
         self.spans
             .finish(sid, SpanOutcome::Filled(source.fill_source()), t_fill);
+        if let Some(a) = &mut self.audit {
+            // A demand re-miss on a WBHT-aborted line resolves the
+            // pending verdict: memory escalation is a mispredict, charged
+            // the measured fill latency; an L3/peer fill proves the
+            // dropped write-back redundant.
+            let latency = self
+                .miss_issue
+                .get(&(txn.src.index() as u8, line.raw()))
+                .map_or(0, |&t0| t_fill.saturating_sub(t0));
+            a.resolve_abort(line.raw(), matches!(source, DataSource::Memory), latency);
+        }
         if self.telemetry.is_enabled() {
             let l2 = txn.src.index() as u32;
             let latency = self

@@ -121,6 +121,15 @@ impl System {
                 t.record_arbitration(t_seen, i as u32, line, winner);
             }
         }
+        if let Some(a) = &mut self.audit {
+            // Terminal outcome for an audited allow verdict: an
+            // already-in-L3 squash marks it a missed abort.
+            a.resolve_allow(
+                i,
+                line.raw(),
+                matches!(outcome, WbOutcome::SquashedAlreadyInL3),
+            );
+        }
         match outcome {
             WbOutcome::SquashedAlreadyInL3 => {
                 self.spans.finish(sid, SpanOutcome::Squashed, t_seen);
@@ -244,6 +253,15 @@ impl System {
         self.trace(line, &|| {
             format!("private castout from {} -> {resp:?}", txn.src)
         });
+        if !matches!(&resp, SnoopResponse::L3Retry) {
+            if let Some(a) = &mut self.audit {
+                a.resolve_allow(
+                    i,
+                    line.raw(),
+                    matches!(&resp, SnoopResponse::L3Hit(_)) && !dirty,
+                );
+            }
+        }
         match resp {
             SnoopResponse::L3Hit(_) if !dirty => {
                 self.spans.finish(sid, SpanOutcome::Squashed, arrive);
@@ -371,6 +389,9 @@ impl System {
                     .as_mut()
                     .expect("wbht policy implies table")
                     .should_abort(now, entry.line, engaged, in_l3);
+                if let Some(a) = &mut self.audit {
+                    a.record_wbht_decision(i, entry.line.raw(), engaged, abort);
+                }
                 if abort {
                     self.l2s[i].wbq.remove(entry.line);
                     self.stats.wb.clean_aborted += 1;

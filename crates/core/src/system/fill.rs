@@ -147,8 +147,12 @@ impl System {
 
     pub(super) fn finalize_snarf_flags(&mut self, l2_idx: usize, line: LineAddr) {
         if let Some(f) = self.l2s[l2_idx].retire_snarf_flags(line) {
-            if !f.used_locally && !f.used_for_intervention {
+            let used = f.used_locally || f.used_for_intervention;
+            if !used {
                 self.stats.snarf.evicted_unused += 1;
+            }
+            if let Some(a) = &mut self.audit {
+                a.resolve_snarf(l2_idx, line.raw(), used);
             }
         }
     }
@@ -225,13 +229,19 @@ impl System {
                 } else {
                     L2State::SharedLast
                 };
-                if let Some((vline, vst)) =
+                let displaced = if let Some((vline, vst)) =
                     self.l2s[i].snarf_insert(line, way, st, self.snarf_insert_pos)
                 {
                     // Victims are Invalid or plain Shared: droppable.
                     debug_assert!(!vst.is_dirty(), "snarf displaced dirty line");
                     self.invalidate_l1s_of(i, vline);
                     self.finalize_snarf_flags(i, vline);
+                    true
+                } else {
+                    false
+                };
+                if let Some(a) = &mut self.audit {
+                    a.record_snarf(i, line.raw(), displaced);
                 }
                 self.trace(line, &|| format!("snarf-fill L2#{i}"));
                 self.l2s[i]

@@ -17,11 +17,13 @@
 //! | `castout`    | Write-back path: WBQ drain, WBHT filter, castout issue    |
 //! | `fill`       | Completion: fills, snarf absorption, invalidations        |
 //! | `observe`    | Telemetry wiring, statistics accessors, finalization      |
+//! | `audit`      | Decision-quality lineage for WBHT verdicts and snarfs     |
 //! | `invariants` | Typed protocol-invariant checking                         |
 //! | `l1`/`l2`    | The cache units themselves                                |
 //! | `thread`     | Per-thread issue state                                    |
 //! | `stats`      | Counter structs                                           |
 
+mod audit;
 mod bus_issue;
 mod castout;
 mod fill;
@@ -36,6 +38,7 @@ mod stats;
 mod system;
 mod thread;
 
+pub use audit::{chrome_decision_events, DecisionAudit, DecisionAuditSummary, L2DecisionStats};
 pub use invariants::InvariantViolation;
 pub use l1::L1Cache;
 pub use l2::{L2Unit, SnarfFlags};

@@ -14,6 +14,7 @@ use cmpsim_mem::{L3Cache, MemoryController};
 
 use crate::config::L3Organization;
 use crate::policy::{RetrySwitch, RetrySwitchConfig};
+use crate::system::audit::{DecisionAudit, DecisionAuditSummary};
 use crate::system::stats::SystemStats;
 use crate::system::System;
 
@@ -101,6 +102,25 @@ impl System {
         self.progress = Some(meter);
     }
 
+    /// Enables the decision-quality audit: every WBHT verdict and snarf
+    /// placement registers a pending outcome record that the later
+    /// pipeline stages resolve (see [`crate::system::audit`]). Off by
+    /// default — disabled runs stay byte-identical.
+    pub fn enable_decision_audit(&mut self) {
+        self.audit = Some(Box::new(DecisionAudit::new(&self.cfg)));
+    }
+
+    /// The attached decision audit, when enabled.
+    pub fn decision_audit(&self) -> Option<&DecisionAudit> {
+        self.audit.as_deref()
+    }
+
+    /// The audit's resolved aggregates (valid after [`run`](Self::run)),
+    /// or `None` when auditing is off.
+    pub fn decision_audit_summary(&self) -> Option<DecisionAuditSummary> {
+        self.audit.as_ref().map(|a| a.summary())
+    }
+
     /// Closes passed sampler window(s) at `now` (`finish` also closes
     /// the trailing partial window), mirrors each new record into the
     /// event trace and the live stream, and takes a host-profiler
@@ -127,6 +147,10 @@ impl System {
             self.stream.send_interval(self.stream_cell, rec);
         }
         if closed_any {
+            let frame = self.audit.as_mut().map(|a| a.note_interval(now));
+            if let Some(f) = frame {
+                self.stream.send_decision(self.stream_cell, &f);
+            }
             self.host_tick(now);
         }
     }
@@ -339,16 +363,34 @@ impl System {
             .stats
             .event_queue_high_water
             .max(self.queue.high_water() as u64);
-        // Snarfed lines still resident and unused count as unused.
+        // Snarfed lines still resident and unused count as unused. The
+        // audit resolves every still-resident placement from the same
+        // flags (useful if ever touched, wasted otherwise).
         let mut still_unused = 0;
-        for l2 in &self.l2s {
-            for f in l2.snarfed_lines.values() {
-                if !f.used_locally && !f.used_for_intervention {
+        for (idx, l2) in self.l2s.iter().enumerate() {
+            for (&raw, f) in &l2.snarfed_lines {
+                let used = f.used_locally || f.used_for_intervention;
+                if !used {
                     still_unused += 1;
+                }
+                if let Some(a) = &mut self.audit {
+                    a.resolve_snarf(idx, raw, used);
                 }
             }
         }
         self.stats.snarf.evicted_unused += still_unused;
+        if self.audit.is_some() {
+            let (engaged, windows) = self.retry_switch.window_counts();
+            let now = self.stats.cycles;
+            if let Some(a) = &mut self.audit {
+                a.finalize(engaged, windows);
+                // One terminal frame with every outcome resolved, so the
+                // stream and the Chrome counter track carry the final
+                // verdict even when no interval window ever closed.
+                let frame = a.note_interval(now);
+                self.stream.send_decision(self.stream_cell, &frame);
+            }
+        }
     }
 }
 

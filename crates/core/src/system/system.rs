@@ -168,6 +168,10 @@ pub struct System {
     pub(super) stream_cell: u64,
     /// Progress heartbeat for long runs. Off by default.
     pub(super) progress: Option<ProgressMeter>,
+    /// Decision-quality audit (WBHT verdict / snarf outcome lineage).
+    /// Off by default: each hook is one `if let` branch, preserving
+    /// byte-identical statistics and golden spans when disabled.
+    pub(super) audit: Option<Box<crate::system::audit::DecisionAudit>>,
 }
 
 /// Errors from building a [`System`].
@@ -323,6 +327,7 @@ impl System {
             stream: TelemetryStream::disabled(),
             stream_cell: 0,
             progress: None,
+            audit: None,
         })
     }
 

@@ -457,8 +457,17 @@ impl HostProfiler {
         let wall_ns = core.created.elapsed().as_nanos() as u64;
         let (rss_now, _) = rss_kb();
         let mut book = core.book.lock().expect("profiler sample lock");
-        let dt_ns = wall_ns.saturating_sub(book.last_wall_ns).max(1);
-        let rate = |delta: u64| ((delta as f64) * 1e9 / dt_ns as f64) as u64;
+        let dt_ns = wall_ns.saturating_sub(book.last_wall_ns);
+        // A sub-microsecond window carries no usable rate information
+        // (a first sample racing the clock): report zero rather than a
+        // billion-fold-amplified spike.
+        let rate = |delta: u64| {
+            if dt_ns < 1_000 {
+                0
+            } else {
+                ((delta as f64) * 1e9 / dt_ns as f64) as u64
+            }
+        };
         let s = HostSample {
             sample: book.samples.len() as u64,
             wall_ns,

@@ -67,12 +67,20 @@ impl ProgressMeter {
         refs_total: u64,
         dt_secs: f64,
     ) -> String {
-        let inst_cps = (cycles.saturating_sub(self.last_cycles)) as f64 / dt_secs.max(1e-9);
-        self.ema_cps = if self.beats == 0 {
-            inst_cps
-        } else {
-            0.5 * self.ema_cps + 0.5 * inst_cps
-        };
+        // A degenerate interval (forced beat, stalled clock) carries no
+        // rate information: keep the prior EMA instead of folding in a
+        // wild or non-finite instantaneous rate. The EMA then stays 0.0
+        // (not NaN/inf) until the first real sample window closes.
+        if dt_secs >= 1e-3 {
+            let inst_cps = (cycles.saturating_sub(self.last_cycles)) as f64 / dt_secs;
+            if inst_cps.is_finite() {
+                self.ema_cps = if self.beats == 0 {
+                    inst_cps
+                } else {
+                    0.5 * self.ema_cps + 0.5 * inst_cps
+                };
+            }
+        }
         self.last_beat = Instant::now();
         self.last_cycles = cycles;
         self.beats += 1;
@@ -88,7 +96,9 @@ impl ProgressMeter {
             line.push_str(&format!(", refs {pct:.0}%"));
             if refs_done > 0 && refs_done < refs_total {
                 let eta = elapsed * (refs_total - refs_done) as f64 / refs_done as f64;
-                line.push_str(&format!(", eta {eta:.0}s"));
+                if eta.is_finite() {
+                    line.push_str(&format!(", eta {eta:.0}s"));
+                }
             }
         }
         line
@@ -123,6 +133,25 @@ mod tests {
         let mut m = ProgressMeter::new(5.0);
         let line = m.beat_line(100, 0, 0, 1.0);
         assert!(!line.contains("refs"), "{line}");
+        assert!(!line.contains("eta"), "{line}");
+    }
+
+    #[test]
+    fn zero_length_interval_keeps_prior_rate() {
+        let mut m = ProgressMeter::new(5.0);
+        m.beat_line(1_000_000, 1, 10, 1.0); // 1M cyc/s
+        let line = m.beat_line(2_000_000, 2, 10, 0.0); // no rate info
+        assert!(line.contains("1.00M cyc/s"), "{line}");
+        assert!(!line.contains("NaN") && !line.contains("inf"), "{line}");
+    }
+
+    #[test]
+    fn first_window_with_zero_throughput_stays_finite() {
+        let mut m = ProgressMeter::new(5.0);
+        let line = m.beat_line(0, 0, 100, 0.0);
+        assert!(line.contains("0.00M cyc/s"), "{line}");
+        assert!(!line.contains("NaN") && !line.contains("inf"), "{line}");
+        // No refs done yet: the ETA must be omitted, not infinite.
         assert!(!line.contains("eta"), "{line}");
     }
 

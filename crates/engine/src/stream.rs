@@ -236,6 +236,32 @@ impl TelemetryStream {
         self.send("host_sample", cell, &format!(",{}", sample.to_json_body()));
     }
 
+    /// Streams one cumulative decision-audit snapshot.
+    pub fn send_decision(&self, cell: u64, f: &DecisionFrame) {
+        if self.core.is_none() {
+            return;
+        }
+        self.send(
+            "decision",
+            cell,
+            &format!(
+                ",\"cycle\":{},\"decisions\":{},\"aborts\":{},\"aborts_correct\":{},\
+                 \"aborts_mispredicted\":{},\"allows_redundant\":{},\"snarfs\":{},\
+                 \"snarfs_useful\":{},\"snarfs_wasted\":{},\"engaged\":{}",
+                f.cycle,
+                f.decisions,
+                f.aborts,
+                f.aborts_correct,
+                f.aborts_mispredicted,
+                f.allows_redundant,
+                f.snarfs,
+                f.snarfs_useful,
+                f.snarfs_wasted,
+                u8::from(f.engaged)
+            ),
+        );
+    }
+
     /// Announces a run finishing on `cell`.
     pub fn send_run_end(&self, cell: u64, cycles: Cycle, events: u64) {
         self.send(
@@ -244,6 +270,35 @@ impl TelemetryStream {
             &format!(",\"cycles\":{cycles},\"events\":{events}"),
         );
     }
+}
+
+/// One `decision` frame: cumulative decision-audit counters at an
+/// interval boundary. Kept engine-side (plain fields, no simulator
+/// types) so the stream's frame vocabulary lives in one module; the
+/// core's audit layer fills it in. `engaged` is serialized as `0`/`1`
+/// so [`frame_u64`] parses every numeric field uniformly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DecisionFrame {
+    /// Simulated cycle the snapshot was taken at.
+    pub cycle: Cycle,
+    /// WBHT verdicts audited so far.
+    pub decisions: u64,
+    /// Abort verdicts so far.
+    pub aborts: u64,
+    /// Aborts resolved correct so far.
+    pub aborts_correct: u64,
+    /// Aborts resolved mispredicted so far.
+    pub aborts_mispredicted: u64,
+    /// Allow verdicts squashed as already-in-L3 so far.
+    pub allows_redundant: u64,
+    /// Snarf placements so far.
+    pub snarfs: u64,
+    /// Snarfs resolved useful so far.
+    pub snarfs_useful: u64,
+    /// Snarfs resolved wasted so far.
+    pub snarfs_wasted: u64,
+    /// Retry-rate switch state last observed at a decision site.
+    pub engaged: bool,
 }
 
 /// Reads one length-prefixed frame, returning the JSON payload
@@ -395,6 +450,34 @@ mod tests {
         assert_eq!(frame_str(&got[1], "type"), Some("interval"));
         assert_eq!(frame_u64(&got[1], "l2_misses"), Some(42));
         assert_eq!(frame_u64(&got[1], "cell"), Some(3));
+    }
+
+    #[test]
+    fn decision_frames_carry_cumulative_counters() {
+        let buf = SharedBuf::new();
+        let s = TelemetryStream::to_writer(buf.clone());
+        let f = DecisionFrame {
+            cycle: 9_000,
+            decisions: 12,
+            aborts: 5,
+            aborts_correct: 3,
+            aborts_mispredicted: 1,
+            allows_redundant: 2,
+            snarfs: 4,
+            snarfs_useful: 2,
+            snarfs_wasted: 1,
+            engaged: true,
+        };
+        s.send_decision(7, &f);
+        let got = frames(&buf);
+        assert_eq!(frame_str(&got[1], "type"), Some("decision"));
+        assert_eq!(frame_u64(&got[1], "cell"), Some(7));
+        assert_eq!(frame_u64(&got[1], "cycle"), Some(9_000));
+        assert_eq!(frame_u64(&got[1], "aborts_correct"), Some(3));
+        assert_eq!(frame_u64(&got[1], "snarfs_useful"), Some(2));
+        assert_eq!(frame_u64(&got[1], "engaged"), Some(1));
+        // Disabled stream: inert.
+        TelemetryStream::disabled().send_decision(0, &f);
     }
 
     #[test]

@@ -7,6 +7,9 @@
 #                                committed in BENCH_PR5.json
 #   scripts/bench.sh --update    re-measure and rewrite BENCH_PR5.json,
 #                                keeping the recorded pre-PR baselines
+#   scripts/bench.sh --audit-overhead
+#                                decision-audit overhead gate: fail when
+#                                --audit costs more than 3% cycles/sec
 #
 # The gate compares wall-clock throughput, so it is machine- and
 # load-sensitive: run it on an otherwise idle machine. Set
@@ -22,6 +25,9 @@ case "${1:-}" in
     --check)
         exec "$BIN" --check BENCH_PR5.json
         ;;
+    --audit-overhead)
+        exec "$BIN" --audit-overhead-check
+        ;;
     --update)
         tmp=$(mktemp)
         trap 'rm -f "$tmp"' EXIT
@@ -34,7 +40,7 @@ case "${1:-}" in
         exec "$BIN" --emit
         ;;
     *)
-        echo "usage: scripts/bench.sh [--check|--update]" >&2
+        echo "usage: scripts/bench.sh [--check|--update|--audit-overhead]" >&2
         exit 2
         ;;
 esac

@@ -61,6 +61,16 @@ echo "==> profiler overhead gate (bench_throughput --overhead-check)"
 # most 3% cycles/sec. CMPSIM_BENCH_NO_GATE=1 demotes to a warning.
 ./target/release/bench_throughput --overhead-check
 
+echo "==> decision-audit overhead gate (scripts/bench.sh --audit-overhead)"
+# The --audit decision-outcome lineage must also cost at most 3%
+# cycles/sec when on (and exactly nothing when off — see the next gate).
+./scripts/bench.sh --audit-overhead
+
+echo "==> decision-audit consistency gate (policy_audit --check)"
+# Audit-on metrics minus the audit_* section must be byte-identical to
+# audit-off, and (nearly) every recorded decision must resolve.
+CMPSIM_PROFILE=smoke ./target/release/policy_audit --check >/dev/null
+
 echo "==> live telemetry stream smoke (profile_report + telemetry_tail)"
 # End to end: a --jobs 2 grid serves frames on a Unix socket while a
 # tail attaches, consumes at least one host sample, and exits 0.

@@ -11,6 +11,7 @@
 //! cmpsim [--workload tp|cpw2|notesbench|trade2] [--policy baseline|wbht|snarf|combined]
 //!        [--entries N] [--outstanding 1..6] [--refs N] [--scale N] [--seed N]
 //!        [--trace FILE] [--granularity N] [--global-wbht] [--csv] [--json]
+//!        [--audit] [--metrics-out FILE]
 //!        [--trace-events FILE] [--interval-stats N]
 //!        [--trace-spans FILE] [--span-sample N]
 //!        [--profile-host] [--profile-stride N] [--stream-telemetry[=PATH]]
@@ -20,7 +21,8 @@
 use std::process::ExitCode;
 
 use cmp_hierarchies::adaptive::{
-    PolicyConfig, RunReport, SnarfConfig, System, SystemConfig, UpdateScope, WbhtConfig,
+    chrome_decision_events, PolicyConfig, RunReport, SnarfConfig, System, SystemConfig,
+    UpdateScope, WbhtConfig,
 };
 use cmp_hierarchies::engine::profiler::{chrome_host_events, HostProfiler, DEFAULT_STRIDE};
 use cmp_hierarchies::engine::progress::ProgressMeter;
@@ -44,6 +46,8 @@ struct Args {
     global_wbht: bool,
     csv: bool,
     json: bool,
+    audit: bool,
+    metrics_out: Option<String>,
     trace_events: Option<String>,
     interval_stats: Option<Cycle>,
     trace_spans: Option<String>,
@@ -72,6 +76,8 @@ impl Default for Args {
             global_wbht: false,
             csv: false,
             json: false,
+            audit: false,
+            metrics_out: None,
             trace_events: None,
             interval_stats: None,
             trace_spans: None,
@@ -114,6 +120,8 @@ fn parse_args() -> Result<Args, String> {
             "--global-wbht" => args.global_wbht = true,
             "--csv" => args.csv = true,
             "--json" => args.json = true,
+            "--audit" => args.audit = true,
+            "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
             "--trace-events" => args.trace_events = Some(value("--trace-events")?),
             "--interval-stats" => {
                 args.interval_stats = Some(parse_num(&value("--interval-stats")?)?.max(1));
@@ -178,6 +186,14 @@ OPTIONS:
         --global-wbht      allocate WBHT entries in all L2s (Figure 3 mode)
         --csv              machine-readable one-line CSV output
         --json             machine-readable JSON summary
+        --audit            record adaptive-decision outcomes (WBHT
+                           abort precision, snarf usefulness, net
+                           cycles) as audit_* metrics, decision frames
+                           on --stream-telemetry, and a counter track
+                           in --trace-spans
+        --metrics-out F    also write the metrics registry to F (JSON,
+                           or CSV with --csv); composes with
+                           --stream-telemetry on stdout
         --trace-events F   stream typed simulator events to F as JSON lines
         --interval-stats N snapshot counters every N cycles (see --verbose)
         --trace-spans F    write per-transaction phase spans to F as a
@@ -329,6 +345,9 @@ fn real_main() -> Result<(), String> {
             sys.set_progress(ProgressMeter::new(secs));
         }
     }
+    if args.audit {
+        sys.enable_decision_audit();
+    }
 
     let stats = sys.run(args.refs);
     telemetry.flush();
@@ -336,12 +355,12 @@ fn real_main() -> Result<(), String> {
     if let Some(path) = &args.trace_spans {
         let file = std::fs::File::create(path).map_err(|e| format!("--trace-spans {path}: {e}"))?;
         let mut w = std::io::BufWriter::new(file);
-        write_chrome_trace_with(
-            &span_tracer.finished_spans(),
-            &chrome_host_events(&host.samples()),
-            &mut w,
-        )
-        .map_err(|e| format!("--trace-spans {path}: {e}"))?;
+        let mut extras = chrome_host_events(&host.samples());
+        if let Some(a) = sys.decision_audit() {
+            extras.extend(chrome_decision_events(a.history()));
+        }
+        write_chrome_trace_with(&span_tracer.finished_spans(), &extras, &mut w)
+            .map_err(|e| format!("--trace-spans {path}: {e}"))?;
     }
     if host.is_enabled() && !args.quiet {
         eprint!("{}", host.report().render());
@@ -369,11 +388,22 @@ fn real_main() -> Result<(), String> {
         },
         span_summary: tracing_spans.then(|| span_tracer.summary()),
         host: host.is_enabled().then(|| host.report()),
+        audit: sys.decision_audit_summary(),
     };
     // One registry feeds every machine-readable format, so JSON and CSV
     // cannot drift apart (they once disagreed on which snarf counter the
     // "snarfed" column reported).
     let metrics = report.metrics();
+
+    if let Some(path) = &args.metrics_out {
+        let body = if args.csv {
+            let (header, row) = metrics.to_csv();
+            format!("{header}\n{row}\n")
+        } else {
+            format!("{}\n", metrics.to_json())
+        };
+        std::fs::write(path, body).map_err(|e| format!("--metrics-out {path}: {e}"))?;
+    }
 
     if args.json {
         println!("{}", metrics.to_json());
