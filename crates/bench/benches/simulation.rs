@@ -24,17 +24,17 @@ fn bench_policies(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulation");
     g.sample_size(10);
     let policies: Vec<(&str, PolicyConfig)> = vec![
-        ("baseline", PolicyConfig::Baseline),
+        ("baseline", PolicyConfig::baseline()),
         (
             "wbht",
-            PolicyConfig::Wbht(WbhtConfig {
+            PolicyConfig::wbht(WbhtConfig {
                 entries: 2048,
                 ..Default::default()
             }),
         ),
         (
             "snarf",
-            PolicyConfig::Snarf(SnarfConfig {
+            PolicyConfig::snarf(SnarfConfig {
                 entries: 2048,
                 ..Default::default()
             }),
@@ -60,7 +60,7 @@ fn bench_ablation_insert_pos(c: &mut Criterion) {
         ("lru", InsertPosition::Lru),
     ] {
         g.bench_function(name, |b| {
-            let p = PolicyConfig::Snarf(SnarfConfig {
+            let p = PolicyConfig::snarf(SnarfConfig {
                 entries: 2048,
                 assoc: 16,
                 insert_pos: pos,
@@ -80,7 +80,7 @@ fn bench_ablation_scope(c: &mut Criterion) {
         ("global", UpdateScope::Global),
     ] {
         g.bench_function(name, |b| {
-            let p = PolicyConfig::Wbht(WbhtConfig {
+            let p = PolicyConfig::wbht(WbhtConfig {
                 entries: 2048,
                 assoc: 16,
                 scope,

@@ -78,18 +78,18 @@ fn config_for(scale: u64, policy: &str) -> SystemConfig {
     cfg.seed = SEED;
     let entries = (32 * 1024 / scale.max(1)).max(256);
     cfg.policy = match policy {
-        "baseline" => PolicyConfig::Baseline,
-        "wbht" => PolicyConfig::Wbht(WbhtConfig {
+        "baseline" => PolicyConfig::baseline(),
+        "wbht" => PolicyConfig::wbht(WbhtConfig {
             entries,
             assoc: 16,
             scope: UpdateScope::Local,
             granularity: 1,
         }),
-        "snarf" => PolicyConfig::Snarf(SnarfConfig {
+        "snarf" => PolicyConfig::snarf(SnarfConfig {
             entries,
             ..Default::default()
         }),
-        "combined" => PolicyConfig::Combined(
+        "combined" => PolicyConfig::combined(
             WbhtConfig {
                 entries: (entries / 2).max(256),
                 assoc: 16,

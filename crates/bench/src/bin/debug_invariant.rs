@@ -38,7 +38,7 @@ fn params(seed: u64) -> WorkloadParams {
 fn main() {
     for seed in 0..40u64 {
         let mut cfg = SystemConfig::scaled(16);
-        cfg.policy = PolicyConfig::Snarf(SnarfConfig {
+        cfg.policy = PolicyConfig::snarf(SnarfConfig {
             entries: 512,
             ..Default::default()
         });

@@ -29,7 +29,7 @@ fn combined_spec(
     let mut cfg = p.config();
     cfg.max_outstanding = pressure;
     let half = (p.table_entries(32 * 1024) / 2).max(256);
-    cfg.policy = PolicyConfig::Combined(
+    cfg.policy = PolicyConfig::combined(
         WbhtConfig {
             entries: half,
             assoc: 16,
@@ -81,6 +81,7 @@ fn report(p: &Profile, pressure: u32) {
     let reports = parallel_runs(specs);
     let mut t = cmpsim_bench::Table::new(vec![
         "Workload".into(),
+        "Policy".into(),
         "Decisions".into(),
         "Engaged".into(),
         "Aborts".into(),
@@ -96,6 +97,9 @@ fn report(p: &Profile, pressure: u32) {
         let tot = &a.totals;
         t.row(vec![
             r.workload.clone(),
+            // Config-axis label (what was asked for), not inferred from
+            // which stat sections happen to be populated.
+            r.policy.to_string(),
             tot.wbht_decisions.to_string(),
             pct(rate(tot.decisions_engaged, tot.wbht_decisions)),
             tot.aborts.to_string(),

@@ -57,7 +57,7 @@ fn main() {
 
         // WBHT run
         let mut cfgw = cfg.clone();
-        cfgw.policy = PolicyConfig::Wbht(WbhtConfig {
+        cfgw.policy = PolicyConfig::wbht(WbhtConfig {
             entries: (32 * 1024 / factor).max(512),
             ..Default::default()
         });
@@ -74,7 +74,7 @@ fn main() {
 
         // Snarf run
         let mut cfgs = cfg.clone();
-        cfgs.policy = PolicyConfig::Snarf(SnarfConfig {
+        cfgs.policy = PolicyConfig::snarf(SnarfConfig {
             entries: (32 * 1024 / factor).max(512),
             ..Default::default()
         });

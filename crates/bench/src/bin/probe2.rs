@@ -17,9 +17,14 @@ fn main() {
             c.policy = p;
             c
         };
-        let base = run(RunSpec::for_workload(cfg(PolicyConfig::Baseline), wl, refs)).unwrap();
+        let base = run(RunSpec::for_workload(
+            cfg(PolicyConfig::baseline()),
+            wl,
+            refs,
+        ))
+        .unwrap();
         let wl_ = |scope| {
-            PolicyConfig::Wbht(WbhtConfig {
+            PolicyConfig::wbht(WbhtConfig {
                 entries: 4096,
                 assoc: 16,
                 scope,
@@ -39,7 +44,7 @@ fn main() {
         ))
         .unwrap();
         let sn = run(RunSpec::for_workload(
-            cfg(PolicyConfig::Snarf(SnarfConfig {
+            cfg(PolicyConfig::snarf(SnarfConfig {
                 entries: 4096,
                 ..Default::default()
             })),

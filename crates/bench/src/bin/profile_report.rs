@@ -109,10 +109,10 @@ fn grid(p: &Profile) -> Vec<(Workload, PolicyConfig)> {
     let mut cells = Vec::new();
     for wl in [Workload::Trade2, Workload::Cpw2] {
         for policy in [
-            PolicyConfig::Baseline,
-            PolicyConfig::Wbht(wbht),
-            PolicyConfig::Snarf(snarf),
-            PolicyConfig::Combined(
+            PolicyConfig::baseline(),
+            PolicyConfig::wbht(wbht),
+            PolicyConfig::snarf(snarf),
+            PolicyConfig::combined(
                 WbhtConfig {
                     entries: half,
                     ..wbht
@@ -166,7 +166,7 @@ fn main() {
     let mut specs = Vec::new();
     for (cell, (wl, policy)) in cells.iter().enumerate() {
         let mut cfg = profile.config();
-        cfg.policy = policy.clone();
+        cfg.policy = *policy;
         let mut spec = profile.spec(cfg, *wl);
         let host = HostProfiler::with_stride(args.stride);
         spec.host_profiler = host.clone();

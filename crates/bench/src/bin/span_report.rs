@@ -116,10 +116,10 @@ fn real_main() -> Result<(), String> {
         SystemConfig::scaled(args.scale)
     };
     cfg.policy = match args.policy.as_str() {
-        "baseline" => PolicyConfig::Baseline,
-        "wbht" => PolicyConfig::Wbht(Default::default()),
-        "snarf" => PolicyConfig::Snarf(Default::default()),
-        "combined" => PolicyConfig::Combined(Default::default(), Default::default()),
+        "baseline" => PolicyConfig::baseline(),
+        "wbht" => PolicyConfig::wbht(Default::default()),
+        "snarf" => PolicyConfig::snarf(Default::default()),
+        "combined" => PolicyConfig::combined(Default::default(), Default::default()),
         other => return Err(format!("unknown policy {other}")),
     };
     let mut spec = RunSpec::for_workload(cfg, args.workload, args.refs);

@@ -186,8 +186,13 @@ fn render(cells: &BTreeMap<u64, CellView>) -> String {
                     format!("{:.0}%", 100.0 * num as f64 / den as f64)
                 }
             };
+            // Label the audit block with the cell's configured policy
+            // (from its run_start frame) rather than assuming the WBHT
+            // is the only decision-maker.
+            let policy = if v.policy.is_empty() { "?" } else { &v.policy };
             out.push_str(&format!(
-                "  audit: {} wbht decisions [{}], abort precision {}, useful snarfs {}\n",
+                "  audit[{policy}]: {} castout decisions [{}], abort precision {}, \
+                 useful snarfs {}\n",
                 v.decisions,
                 if v.wbht_engaged { "engaged" } else { "off" },
                 rate(v.aborts_correct, v.aborts_correct + v.aborts_mispredicted),
@@ -316,12 +321,21 @@ mod tests {
         let mut cells = BTreeMap::new();
         ingest(
             &mut cells,
+            r#"{"type":"run_start","cell":3,"workload":"tp","policy":"wbht+snarf"}"#,
+        );
+        ingest(
+            &mut cells,
             r#"{"type":"decision","cell":3,"cycle":500,"decisions":10,"aborts":4,
                "aborts_correct":3,"aborts_mispredicted":1,"allows_redundant":2,
                "snarfs":5,"snarfs_useful":2,"snarfs_wasted":1,"engaged":1}"#,
         );
         let out = render(&cells);
-        assert!(out.contains("10 wbht decisions [engaged]"), "{out}");
+        // The audit block is labelled with the configured policy from
+        // the run_start frame, not a hard-wired mechanism name.
+        assert!(
+            out.contains("audit[wbht+snarf]: 10 castout decisions [engaged]"),
+            "{out}"
+        );
         assert!(out.contains("abort precision 75%"), "{out}");
         assert!(out.contains("useful snarfs 67%"), "{out}");
     }
@@ -335,7 +349,9 @@ mod tests {
             r#"{"type":"decision","cell":0,"cycle":100,"decisions":7,"engaged":0}"#,
         );
         let out = render(&cells);
-        assert!(out.contains("7 wbht decisions [off]"), "{out}");
+        // No run_start seen for this cell: the policy label degrades to
+        // "?" instead of guessing a mechanism from metric presence.
+        assert!(out.contains("audit[?]: 7 castout decisions [off]"), "{out}");
         assert!(out.contains("abort precision --"), "{out}");
         assert!(out.contains("useful snarfs --"), "{out}");
         assert!(!out.contains("NaN"), "{out}");

@@ -23,7 +23,7 @@ pub fn run(p: &Profile) -> String {
         specs.push(p.spec(base_cfg(p, 6), wl));
         for &g in &grans {
             let mut cfg = base_cfg(p, 6);
-            cfg.policy = PolicyConfig::Wbht(WbhtConfig {
+            cfg.policy = PolicyConfig::wbht(WbhtConfig {
                 entries,
                 assoc: 16,
                 scope: UpdateScope::Local,

@@ -25,7 +25,7 @@ pub fn run(p: &Profile) -> String {
         specs.push(p.spec(base_cfg(p, 6), wl));
         for &(_, pos) in &positions {
             let mut cfg = base_cfg(p, 6);
-            cfg.policy = PolicyConfig::Snarf(SnarfConfig {
+            cfg.policy = PolicyConfig::snarf(SnarfConfig {
                 entries,
                 assoc: 16,
                 insert_pos: pos,

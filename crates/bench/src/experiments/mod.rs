@@ -12,6 +12,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod policy_audit;
+pub mod policy_faceoff;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -19,7 +20,9 @@ pub mod table4;
 pub mod table5;
 pub mod workloads_profile;
 
-use cmp_adaptive_wb::{PolicyConfig, SnarfConfig, SystemConfig, UpdateScope, WbhtConfig};
+use cmp_adaptive_wb::{
+    HybridConfig, PolicyConfig, RdcbConfig, SnarfConfig, SystemConfig, UpdateScope, WbhtConfig,
+};
 use cmpsim_trace::Workload;
 
 use crate::Profile;
@@ -138,6 +141,11 @@ pub fn all() -> Vec<Experiment> {
             title: "Decision audit: WBHT abort precision and useful-snarf rate",
             run: policy_audit::run,
         },
+        Experiment {
+            id: "policy-faceoff",
+            title: "Policy face-off: WBHT vs reuse-distance copy-back vs hybrid coherence",
+            run: policy_faceoff::run,
+        },
     ]
 }
 
@@ -163,7 +171,7 @@ pub(crate) fn wbht_cfg(
     scope: UpdateScope,
 ) -> SystemConfig {
     let mut c = base_cfg(p, pressure);
-    c.policy = PolicyConfig::Wbht(WbhtConfig {
+    c.policy = PolicyConfig::wbht(WbhtConfig {
         entries,
         assoc: 16,
         scope,
@@ -175,7 +183,7 @@ pub(crate) fn wbht_cfg(
 /// Snarf system.
 pub(crate) fn snarf_cfg(p: &Profile, pressure: u32, entries: u64) -> SystemConfig {
     let mut c = base_cfg(p, pressure);
-    c.policy = PolicyConfig::Snarf(SnarfConfig {
+    c.policy = PolicyConfig::snarf(SnarfConfig {
         entries,
         ..Default::default()
     });
@@ -185,7 +193,7 @@ pub(crate) fn snarf_cfg(p: &Profile, pressure: u32, entries: u64) -> SystemConfi
 /// Combined system (two half-sized tables, §5.3).
 pub(crate) fn combined_cfg(p: &Profile, pressure: u32, half_entries: u64) -> SystemConfig {
     let mut c = base_cfg(p, pressure);
-    c.policy = PolicyConfig::Combined(
+    c.policy = PolicyConfig::combined(
         WbhtConfig {
             entries: half_entries,
             assoc: 16,
@@ -197,6 +205,26 @@ pub(crate) fn combined_cfg(p: &Profile, pressure: u32, half_entries: u64) -> Sys
             ..Default::default()
         },
     );
+    c
+}
+
+/// Reuse-distance copy-back system.
+pub(crate) fn rdcb_cfg(p: &Profile, pressure: u32, entries: u64) -> SystemConfig {
+    let mut c = base_cfg(p, pressure);
+    c.policy = PolicyConfig::rdcb(RdcbConfig {
+        entries,
+        ..Default::default()
+    });
+    c
+}
+
+/// Hybrid update/invalidate coherence system.
+pub(crate) fn hybrid_cfg(p: &Profile, pressure: u32, entries: u64) -> SystemConfig {
+    let mut c = base_cfg(p, pressure);
+    c.policy = PolicyConfig::hybrid(HybridConfig {
+        entries,
+        ..Default::default()
+    });
     c
 }
 

@@ -176,7 +176,7 @@ impl SystemConfig {
             snarf_buffers: 4,
             snarf_buffer_hold: 32,
             thread_batch: 32,
-            policy: PolicyConfig::Baseline,
+            policy: PolicyConfig::baseline(),
             retry_switch: RetrySwitchConfig::default(),
             history_aware_replacement: false,
             seed: 0x1BAD_B002,

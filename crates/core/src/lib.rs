@@ -25,7 +25,7 @@
 //! cfg.max_outstanding = 6;
 //! let base = run(RunSpec::for_workload(cfg.clone(), Workload::Trade2, 2_000))?;
 //!
-//! cfg.policy = PolicyConfig::Wbht(WbhtConfig { entries: 4096, ..Default::default() });
+//! cfg.policy = PolicyConfig::wbht(WbhtConfig { entries: 4096, ..Default::default() });
 //! let wbht = run(RunSpec::for_workload(cfg, Workload::Trade2, 2_000))?;
 //!
 //! println!("improvement: {:.1}%", wbht.improvement_over(&base));
@@ -40,7 +40,9 @@ mod runner;
 pub mod system;
 
 pub use config::{L1Config, L3Organization, SystemConfig};
-pub use policy::{PolicyConfig, RetrySwitchConfig, SnarfConfig, UpdateScope, WbhtConfig};
+pub use policy::{
+    HybridConfig, PolicyConfig, RdcbConfig, RetrySwitchConfig, SnarfConfig, UpdateScope, WbhtConfig,
+};
 pub use runner::{run, RunReport, RunSpec};
 pub use system::{
     chrome_decision_events, DecisionAudit, DecisionAuditSummary, InvariantViolation,

@@ -1,45 +1,109 @@
-//! Write-back management policies — the paper's contribution.
+//! The adaptive cache-management policies and the pluggable framework
+//! they ride on.
 //!
-//! Four policies are modelled, matching §5 of the paper:
+//! The paper's two mechanisms and two rivals from the related work are
+//! all [`CachePolicy`] implementations dispatched through a
+//! [`PolicyStack`] (see [`framework`](self)):
 //!
-//! * [`PolicyConfig::Baseline`] — every victimized line (clean and
-//!   dirty) is written back toward the L3; the only filtering is the
-//!   L3's own squash of clean write-backs it already holds.
-//! * [`PolicyConfig::Wbht`] — adds the Write-Back History Table (§2):
-//!   clean write-backs predicted redundant are aborted before touching
-//!   the ring, gated by the retry-rate switch (§2.2).
-//! * [`PolicyConfig::Snarf`] — adds L2-to-L2 write-back absorption (§3)
-//!   driven by the reuse (snarf) table.
-//! * [`PolicyConfig::Combined`] — both, with half-sized tables to keep
-//!   total area constant (§5.3).
+//! * **WBHT** ([`WbhtConfig`], §2) — filters redundant clean
+//!   write-backs with per-L2 history tables, gated by the retry-rate
+//!   switch (§2.2);
+//! * **snarf** ([`SnarfConfig`], §3) — L2-to-L2 write-back absorption
+//!   driven by a chip-wide reuse table;
+//! * **reuse-distance copy-back** ([`RdcbConfig`], after Wang et al.,
+//!   arXiv:2105.14442) — vetoes copy-backs of clean victims predicted
+//!   dead, a rival to the WBHT;
+//! * **hybrid update/invalidate** ([`HybridConfig`], after Dovgopol &
+//!   Rosonke, arXiv:1502.00101) — adaptively completes stores to
+//!   shared lines as updates instead of invalidations.
+//!
+//! [`PolicyConfig`] selects any combination; the paper's configurations
+//! are the [`PolicyConfig::wbht`]/[`PolicyConfig::snarf`]/
+//! [`PolicyConfig::combined`] corners.
 
+mod framework;
+mod hybrid;
+mod rdcb;
 mod retry_switch;
 mod snarf;
 mod wbht;
 
+pub use framework::{
+    CachePolicy, CastoutCtx, CastoutDecision, PolicyCaps, PolicyStack, ResponseCtx,
+};
+pub use hybrid::{CoherenceAction, HybridConfig, HybridStats, HybridUpdateInvalidate};
+pub use rdcb::{RdcbConfig, RdcbStats, ReuseDistanceCopyBack};
 pub use retry_switch::{RetrySwitch, RetrySwitchConfig};
 pub use snarf::{SnarfConfig, SnarfStats, SnarfTable};
 pub use wbht::{UpdateScope, Wbht, WbhtConfig, WbhtStats};
 
-/// Which write-back policy a simulation runs.
-#[derive(Debug, Clone, PartialEq, Default)]
-pub enum PolicyConfig {
-    /// All victimized lines are written back toward the L3.
-    #[default]
-    Baseline,
-    /// Selective clean write-backs via the WBHT.
-    Wbht(WbhtConfig),
-    /// L2-to-L2 write-back snarfing.
-    Snarf(SnarfConfig),
-    /// Both mechanisms together.
-    Combined(WbhtConfig, SnarfConfig),
+/// Which adaptive mechanisms are active — a composable set (each field
+/// is independent; any combination is valid). The default is the
+/// baseline: every victimized line, clean and dirty, is written back
+/// and peers are invalidated on stores.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PolicyConfig {
+    /// Write-back history table (paper §2).
+    pub wbht: Option<WbhtConfig>,
+    /// L2-to-L2 snarfing (paper §3).
+    pub snarf: Option<SnarfConfig>,
+    /// Reuse-distance clean copy-back filtering (related work).
+    pub rdcb: Option<RdcbConfig>,
+    /// Hybrid update/invalidate coherence (related work).
+    pub hybrid: Option<HybridConfig>,
 }
 
 impl PolicyConfig {
+    /// The baseline: no adaptive mechanism.
+    pub fn baseline() -> Self {
+        PolicyConfig::default()
+    }
+
+    /// WBHT only.
+    pub fn wbht(cfg: WbhtConfig) -> Self {
+        PolicyConfig {
+            wbht: Some(cfg),
+            ..Default::default()
+        }
+    }
+
+    /// Snarfing only.
+    pub fn snarf(cfg: SnarfConfig) -> Self {
+        PolicyConfig {
+            snarf: Some(cfg),
+            ..Default::default()
+        }
+    }
+
+    /// WBHT and snarfing together (the paper's combined configuration).
+    pub fn combined(wbht: WbhtConfig, snarf: SnarfConfig) -> Self {
+        PolicyConfig {
+            wbht: Some(wbht),
+            snarf: Some(snarf),
+            ..Default::default()
+        }
+    }
+
+    /// Reuse-distance copy-back only.
+    pub fn rdcb(cfg: RdcbConfig) -> Self {
+        PolicyConfig {
+            rdcb: Some(cfg),
+            ..Default::default()
+        }
+    }
+
+    /// Hybrid update/invalidate only.
+    pub fn hybrid(cfg: HybridConfig) -> Self {
+        PolicyConfig {
+            hybrid: Some(cfg),
+            ..Default::default()
+        }
+    }
+
     /// The paper's §5.3 combined configuration: both tables at 16K
     /// entries "to preserve the overall space requirements".
     pub fn combined_paper() -> Self {
-        PolicyConfig::Combined(
+        PolicyConfig::combined(
             WbhtConfig {
                 entries: 16 * 1024,
                 ..WbhtConfig::default()
@@ -51,23 +115,52 @@ impl PolicyConfig {
         )
     }
 
-    /// Does this policy include the WBHT?
+    /// Is the WBHT active?
     pub fn has_wbht(&self) -> bool {
-        matches!(self, PolicyConfig::Wbht(_) | PolicyConfig::Combined(..))
+        self.wbht.is_some()
     }
 
-    /// Does this policy include snarfing?
+    /// Is snarfing active?
     pub fn has_snarf(&self) -> bool {
-        matches!(self, PolicyConfig::Snarf(_) | PolicyConfig::Combined(..))
+        self.snarf.is_some()
     }
 
-    /// Short label for reports.
+    /// Is reuse-distance copy-back active?
+    pub fn has_rdcb(&self) -> bool {
+        self.rdcb.is_some()
+    }
+
+    /// Is hybrid update/invalidate active?
+    pub fn has_hybrid(&self) -> bool {
+        self.hybrid.is_some()
+    }
+
+    /// A short policy label for reports. The paper's four corners keep
+    /// their historical names; other combinations join the active
+    /// mechanisms with `+` in canonical order.
     pub fn label(&self) -> &'static str {
-        match self {
-            PolicyConfig::Baseline => "baseline",
-            PolicyConfig::Wbht(_) => "wbht",
-            PolicyConfig::Snarf(_) => "snarf",
-            PolicyConfig::Combined(..) => "combined",
+        match (
+            self.has_wbht(),
+            self.has_snarf(),
+            self.has_rdcb(),
+            self.has_hybrid(),
+        ) {
+            (false, false, false, false) => "baseline",
+            (true, false, false, false) => "wbht",
+            (false, true, false, false) => "snarf",
+            (true, true, false, false) => "combined",
+            (false, false, true, false) => "rdcb",
+            (false, false, false, true) => "hybrid",
+            (true, false, true, false) => "wbht+rdcb",
+            (true, false, false, true) => "wbht+hybrid",
+            (false, true, true, false) => "snarf+rdcb",
+            (false, true, false, true) => "snarf+hybrid",
+            (false, false, true, true) => "rdcb+hybrid",
+            (true, true, true, false) => "wbht+snarf+rdcb",
+            (true, true, false, true) => "wbht+snarf+hybrid",
+            (true, false, true, true) => "wbht+rdcb+hybrid",
+            (false, true, true, true) => "snarf+rdcb+hybrid",
+            (true, true, true, true) => "wbht+snarf+rdcb+hybrid",
         }
     }
 }
@@ -78,29 +171,41 @@ mod tests {
 
     #[test]
     fn labels() {
-        assert_eq!(PolicyConfig::Baseline.label(), "baseline");
-        assert_eq!(PolicyConfig::Wbht(WbhtConfig::default()).label(), "wbht");
-        assert_eq!(PolicyConfig::Snarf(SnarfConfig::default()).label(), "snarf");
+        assert_eq!(PolicyConfig::baseline().label(), "baseline");
+        assert_eq!(PolicyConfig::wbht(WbhtConfig::default()).label(), "wbht");
+        assert_eq!(PolicyConfig::snarf(SnarfConfig::default()).label(), "snarf");
         assert_eq!(PolicyConfig::combined_paper().label(), "combined");
+        assert_eq!(PolicyConfig::rdcb(RdcbConfig::default()).label(), "rdcb");
+        assert_eq!(
+            PolicyConfig::hybrid(HybridConfig::default()).label(),
+            "hybrid"
+        );
+        let mix = PolicyConfig {
+            snarf: Some(SnarfConfig::default()),
+            rdcb: Some(RdcbConfig::default()),
+            ..Default::default()
+        };
+        assert_eq!(mix.label(), "snarf+rdcb");
     }
 
     #[test]
     fn capability_flags() {
-        assert!(!PolicyConfig::Baseline.has_wbht());
-        assert!(!PolicyConfig::Baseline.has_snarf());
-        assert!(PolicyConfig::Wbht(WbhtConfig::default()).has_wbht());
-        assert!(PolicyConfig::Snarf(SnarfConfig::default()).has_snarf());
+        assert!(!PolicyConfig::baseline().has_wbht());
+        assert!(!PolicyConfig::baseline().has_snarf());
+        assert!(PolicyConfig::wbht(WbhtConfig::default()).has_wbht());
+        assert!(PolicyConfig::snarf(SnarfConfig::default()).has_snarf());
+        assert!(PolicyConfig::rdcb(RdcbConfig::default()).has_rdcb());
+        assert!(PolicyConfig::hybrid(HybridConfig::default()).has_hybrid());
         let c = PolicyConfig::combined_paper();
         assert!(c.has_wbht() && c.has_snarf());
+        assert!(!c.has_rdcb() && !c.has_hybrid());
     }
 
     #[test]
     fn combined_paper_halves_tables() {
-        if let PolicyConfig::Combined(w, s) = PolicyConfig::combined_paper() {
-            assert_eq!(w.entries, 16 * 1024);
-            assert_eq!(s.entries, 16 * 1024);
-        } else {
-            panic!("not combined");
-        }
+        let c = PolicyConfig::combined_paper();
+        let (w, s) = (c.wbht.unwrap(), c.snarf.unwrap());
+        assert_eq!(w.entries, 16 * 1024);
+        assert_eq!(s.entries, 16 * 1024);
     }
 }

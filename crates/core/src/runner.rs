@@ -10,7 +10,7 @@ use cmpsim_engine::Cycle;
 use cmpsim_trace::{Workload, WorkloadParams};
 
 use crate::config::SystemConfig;
-use crate::policy::{RetrySwitchConfig, SnarfStats, WbhtStats};
+use crate::policy::{HybridStats, RdcbStats, RetrySwitchConfig, SnarfStats, WbhtStats};
 use crate::system::{DecisionAuditSummary, System, SystemError, SystemStats};
 
 /// Everything one simulation run produced.
@@ -34,6 +34,14 @@ pub struct RunReport {
     pub wbht: WbhtStats,
     /// Snarf-table statistics, when snarfing is on.
     pub snarf_table: Option<SnarfStats>,
+    /// Reuse-distance copy-back statistics, when the rdcb policy is on.
+    /// Registered into [`RunReport::metrics`] as an `rdcb_*` section —
+    /// only when present, so legacy exports stay byte-identical.
+    pub rdcb: Option<RdcbStats>,
+    /// Hybrid update/invalidate statistics, when the hybrid policy is
+    /// on. Registered into [`RunReport::metrics`] as a `hybrid_*`
+    /// section — only when present.
+    pub hybrid: Option<HybridStats>,
     /// Interval snapshots, when interval sampling was enabled.
     pub intervals: Vec<IntervalRecord>,
     /// Completed transaction spans, when span tracing was enabled
@@ -107,6 +115,20 @@ impl RunReport {
         m.set_counter("event_queue_high_water", s.event_queue_high_water);
         m.set_counter("l3_read_queue_high_water", self.l3.read_queue_high_water);
         m.set_counter("l3_data_queue_high_water", self.l3.data_queue_high_water);
+        if let Some(r) = &self.rdcb {
+            m.set_counter("rdcb_decisions", r.decisions);
+            m.set_counter("rdcb_aborted", r.aborted);
+            m.set_counter("rdcb_trained", r.trained);
+            m.set_counter("rdcb_unknown", r.unknown);
+        }
+        if let Some(h) = &self.hybrid {
+            m.set_counter("hybrid_invalidations", h.invalidations);
+            m.set_counter("hybrid_updates", h.updates);
+            m.set_counter("hybrid_regretted_invalidations", h.regretted_invalidations);
+            m.set_counter("hybrid_promotions", h.promotions);
+            m.set_counter("hybrid_demotions", h.demotions);
+            m.set_counter("coherence_updates", s.coherence_updates);
+        }
         if let Some(spans) = &self.span_summary {
             spans.register_into(&mut m);
         }
@@ -255,6 +277,8 @@ pub fn run(spec: RunSpec) -> Result<RunReport, SystemError> {
         ring: sys.ring_stats(),
         wbht: sys.wbht_stats(),
         snarf_table: sys.snarf_table_stats(),
+        rdcb: sys.rdcb_stats(),
+        hybrid: sys.hybrid_stats(),
         intervals: sys.interval_records().to_vec(),
         spans: if tracing {
             spec.span_tracer.finished_spans()
@@ -363,7 +387,7 @@ mod tests {
         use crate::policy::{PolicyConfig, SnarfConfig, WbhtConfig};
 
         let mut cfg = SystemConfig::scaled(16);
-        cfg.policy = PolicyConfig::Combined(
+        cfg.policy = PolicyConfig::combined(
             WbhtConfig {
                 entries: 1024,
                 assoc: 16,

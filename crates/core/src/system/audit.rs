@@ -19,6 +19,14 @@
 //!   hit or a ring intervention, *wasted* when it is evicted (or the run
 //!   ends) untouched; placements that displaced a resident victim are
 //!   tallied separately.
+//! * **Coherence** (hybrid update/invalidate policy only) → each store
+//!   to a shared line is tallied by the action the policy chose; the
+//!   policy's own regret tracking grades the invalidations.
+//!
+//! This module owns the *resolution* half: recording verdicts and
+//! matching each to its eventual outcome. Aggregation, derived rates,
+//! the metrics-registry section, and the Chrome counter track live in
+//! [`audit_report`](super::audit_report).
 //!
 //! Net-cycle accounting uses the *measured* re-miss latency for
 //! mispredict penalties and first-order link-latency estimates from the
@@ -31,10 +39,10 @@
 //! byte-identical.
 
 use cmpsim_engine::hash::{FxHashMap, FxHashSet};
-use cmpsim_engine::metrics::MetricsRegistry;
 use cmpsim_engine::stream::DecisionFrame;
 use cmpsim_engine::Cycle;
 
+use super::audit_report::DecisionAuditSummary;
 use crate::config::SystemConfig;
 
 /// Per-L2 decision-quality counters.
@@ -110,7 +118,7 @@ pub struct DecisionAudit {
     /// Estimated latency of an L3-served re-miss, subtracted from a
     /// mispredict's measured memory latency so only the *escalation* is
     /// charged.
-    est_l3_fill: Cycle,
+    pub(super) est_l3_fill: Cycle,
     /// Cycles credited per useful snarf: roughly the memory-link round
     /// trip the local/peer hit avoided.
     credit_snarf: Cycle,
@@ -137,6 +145,11 @@ pub struct DecisionAudit {
     engaged_windows: u64,
     /// Retry-switch windows completed (set at finalize).
     windows: u64,
+    /// Stores to shared lines resolved as coherence updates.
+    coherence_updates: u64,
+    /// Stores to shared lines resolved as base invalidations while a
+    /// coherence-adaptive policy was active.
+    coherence_invalidations: u64,
     /// Cumulative per-interval snapshots for the stream and the
     /// Chrome-trace counter track.
     history: Vec<DecisionFrame>,
@@ -166,6 +179,8 @@ impl DecisionAudit {
             unresolved_aborts: 0,
             engaged_windows: 0,
             windows: 0,
+            coherence_updates: 0,
+            coherence_invalidations: 0,
             history: Vec::new(),
         }
     }
@@ -260,6 +275,18 @@ impl DecisionAudit {
         }
     }
 
+    /// Records one store-to-shared coherence decision from an adaptive
+    /// coherence policy: `update` when the store pushed new data to the
+    /// sharers, `false` when it took the base invalidate path. Legacy
+    /// policies never call this, so their audit output is unchanged.
+    pub fn record_coherence_decision(&mut self, update: bool) {
+        if update {
+            self.coherence_updates += 1;
+        } else {
+            self.coherence_invalidations += 1;
+        }
+    }
+
     /// Closes one observation interval: appends (and returns) a
     /// cumulative snapshot for the live stream and the Chrome counter
     /// track.
@@ -326,183 +353,17 @@ impl DecisionAudit {
             flips: self.flips,
             engaged_windows: self.engaged_windows,
             windows: self.windows,
+            coherence_updates: self.coherence_updates,
+            coherence_invalidations: self.coherence_invalidations,
             heat_abort: self.heat_abort.clone(),
             heat_snarf: self.heat_snarf.clone(),
         }
     }
 }
 
-/// Resolved decision-quality aggregates for one run.
-#[derive(Debug, Clone)]
-pub struct DecisionAuditSummary {
-    /// Per-L2 counters.
-    pub per_l2: Vec<L2DecisionStats>,
-    /// Whole-machine counters (sum over L2s).
-    pub totals: L2DecisionStats,
-    /// Aborts classified correct only because the run ended without a
-    /// re-miss (subset of `totals.aborts_correct`).
-    pub unresolved_aborts: u64,
-    /// Retry-switch state flips observed at decision sites.
-    pub flips: u64,
-    /// Retry-switch windows that ended engaged.
-    pub engaged_windows: u64,
-    /// Retry-switch windows completed.
-    pub windows: u64,
-    /// Estimated cycles saved by correct aborts.
-    pub abort_credit_cycles: u64,
-    /// Estimated cycles saved by useful snarfs.
-    pub snarf_credit_cycles: u64,
-    /// Estimated cycles charged for wasted displacing snarfs.
-    pub displace_cost_cycles: u64,
-    /// Abort verdicts per global L2 set (slice-major).
-    pub heat_abort: Vec<u32>,
-    /// Snarf placements per global L2 set (slice-major).
-    pub heat_snarf: Vec<u32>,
-}
-
-fn rate(num: u64, den: u64) -> f64 {
-    if den == 0 {
-        0.0
-    } else {
-        num as f64 / den as f64
-    }
-}
-
-impl DecisionAuditSummary {
-    /// Fraction of aborts that were correct (1.0 when none fired).
-    pub fn abort_precision(&self) -> f64 {
-        if self.totals.aborts == 0 {
-            1.0
-        } else {
-            rate(self.totals.aborts_correct, self.totals.aborts)
-        }
-    }
-
-    /// Fraction of snarf placements that served a hit or intervention.
-    pub fn useful_snarf_rate(&self) -> f64 {
-        rate(self.totals.snarfs_useful, self.totals.snarfs)
-    }
-
-    /// Fraction of audited decisions with a definite outcome (aborts
-    /// resolved + snarfs retired over all recorded; 1.0 after finalize).
-    pub fn resolved_coverage(&self) -> f64 {
-        let recorded = self.totals.aborts + self.totals.snarfs;
-        let resolved = self.totals.aborts_correct
-            + self.totals.aborts_mispredicted
-            + self.totals.snarfs_useful
-            + self.totals.snarfs_wasted;
-        if recorded == 0 {
-            1.0
-        } else {
-            rate(resolved, recorded)
-        }
-    }
-
-    /// Net cycles saved (positive) or lost (negative) by the adaptive
-    /// decisions, under the audit's first-order cost model.
-    pub fn net_cycles(&self) -> i64 {
-        (self.abort_credit_cycles + self.snarf_credit_cycles) as i64
-            - (self.totals.mispredict_penalty_cycles + self.displace_cost_cycles) as i64
-    }
-
-    /// Registers the audit section into a metrics registry (`audit_*`
-    /// names, appended after the base sections — only ever called when
-    /// the audit ran, so disabled runs export byte-identical output).
-    pub fn register_into(&self, m: &mut MetricsRegistry) {
-        let t = &self.totals;
-        m.set_counter("audit_wbht_decisions", t.wbht_decisions);
-        m.set_counter("audit_decisions_engaged", t.decisions_engaged);
-        m.set_counter("audit_decisions_disengaged", t.decisions_disengaged());
-        m.set_counter("audit_aborts", t.aborts);
-        m.set_counter("audit_aborts_correct", t.aborts_correct);
-        m.set_counter("audit_aborts_mispredicted", t.aborts_mispredicted);
-        m.set_counter("audit_aborts_unresolved", self.unresolved_aborts);
-        m.set_gauge("audit_abort_precision", self.abort_precision());
-        m.set_counter("audit_allows", t.allows);
-        m.set_counter("audit_allows_redundant", t.allows_redundant);
-        m.set_counter("audit_snarfs", t.snarfs);
-        m.set_counter("audit_snarfs_useful", t.snarfs_useful);
-        m.set_counter("audit_snarfs_wasted", t.snarfs_wasted);
-        m.set_counter("audit_snarfs_displacing", t.snarfs_displacing);
-        m.set_gauge("audit_useful_snarf_rate", self.useful_snarf_rate());
-        m.set_counter("audit_abort_credit_cycles", self.abort_credit_cycles);
-        m.set_counter(
-            "audit_mispredict_penalty_cycles",
-            t.mispredict_penalty_cycles,
-        );
-        m.set_counter("audit_snarf_credit_cycles", self.snarf_credit_cycles);
-        m.set_counter("audit_displace_cost_cycles", self.displace_cost_cycles);
-        m.set_gauge("audit_net_cycles", self.net_cycles() as f64);
-        m.set_counter("audit_retry_switch_flips", self.flips);
-        m.set_counter("audit_engaged_windows", self.engaged_windows);
-        m.set_counter("audit_windows", self.windows);
-        m.set_gauge("audit_resolved_coverage", self.resolved_coverage());
-        m.set_counter("audit_heat_abort_sets", nonzero(&self.heat_abort));
-        m.set_counter("audit_heat_abort_max", peak(&self.heat_abort));
-        m.set_counter("audit_heat_snarf_sets", nonzero(&self.heat_snarf));
-        m.set_counter("audit_heat_snarf_max", peak(&self.heat_snarf));
-        for (i, s) in self.per_l2.iter().enumerate() {
-            m.set_counter(&format!("audit_l2_{i}_decisions"), s.wbht_decisions);
-            m.set_counter(&format!("audit_l2_{i}_aborts"), s.aborts);
-            m.set_gauge(
-                &format!("audit_l2_{i}_abort_precision"),
-                if s.aborts == 0 {
-                    1.0
-                } else {
-                    rate(s.aborts_correct, s.aborts)
-                },
-            );
-            m.set_counter(&format!("audit_l2_{i}_snarfs"), s.snarfs);
-            m.set_gauge(
-                &format!("audit_l2_{i}_useful_snarf_rate"),
-                rate(s.snarfs_useful, s.snarfs),
-            );
-        }
-    }
-}
-
-fn nonzero(heat: &[u32]) -> u64 {
-    heat.iter().filter(|&&v| v > 0).count() as u64
-}
-
-fn peak(heat: &[u32]) -> u64 {
-    heat.iter().copied().max().unwrap_or(0) as u64
-}
-
-/// Renders the audit's interval history as Chrome-trace counter lines
-/// (a dedicated pid-9998 "decision audit" track, mirroring the host
-/// profiler's pid-9999 track) for `write_chrome_trace_with`.
-pub fn chrome_decision_events(history: &[DecisionFrame]) -> Vec<String> {
-    if history.is_empty() {
-        return Vec::new();
-    }
-    let mut out = vec![
-        r#"{"name":"process_name","ph":"M","pid":9998,"tid":0,"args":{"name":"decision audit"}}"#
-            .to_string(),
-    ];
-    for f in history {
-        out.push(format!(
-            "{{\"name\":\"wbht outcomes\",\"ph\":\"C\",\"ts\":{},\"pid\":9998,\"tid\":0,\
-             \"args\":{{\"correct\":{},\"mispredicted\":{},\"allows_redundant\":{}}}}}",
-            f.cycle, f.aborts_correct, f.aborts_mispredicted, f.allows_redundant
-        ));
-        out.push(format!(
-            "{{\"name\":\"snarf outcomes\",\"ph\":\"C\",\"ts\":{},\"pid\":9998,\"tid\":0,\
-             \"args\":{{\"useful\":{},\"wasted\":{}}}}}",
-            f.cycle, f.snarfs_useful, f.snarfs_wasted
-        ));
-        out.push(format!(
-            "{{\"name\":\"wbht engaged\",\"ph\":\"C\",\"ts\":{},\"pid\":9998,\"tid\":0,\
-             \"args\":{{\"engaged\":{}}}}}",
-            f.cycle,
-            u8::from(f.engaged)
-        ));
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
+    use super::super::audit_report::{nonzero, peak};
     use super::*;
 
     fn audit() -> DecisionAudit {
@@ -581,6 +442,17 @@ mod tests {
     }
 
     #[test]
+    fn coherence_lineage_tallies_by_action() {
+        let mut a = audit();
+        a.record_coherence_decision(true);
+        a.record_coherence_decision(false);
+        a.record_coherence_decision(false);
+        let s = a.summary();
+        assert_eq!(s.coherence_updates, 1);
+        assert_eq!(s.coherence_invalidations, 2);
+    }
+
+    #[test]
     fn heatmaps_land_in_distinct_sets() {
         let mut a = audit();
         let sets = a.heat_abort.len() as u64;
@@ -593,37 +465,5 @@ mod tests {
         assert_eq!(nonzero(&s.heat_abort), 2);
         assert_eq!(peak(&s.heat_abort), 2);
         assert_eq!(nonzero(&s.heat_snarf), 1);
-    }
-
-    #[test]
-    fn registry_section_and_chrome_track() {
-        let mut a = audit();
-        a.record_wbht_decision(0, 4, true, true);
-        a.resolve_abort(4, true, 2000);
-        let f = a.note_interval(5_000);
-        assert_eq!(f.aborts_mispredicted, 1);
-        assert!(f.engaged);
-        a.finalize(1, 2);
-        let mut m = MetricsRegistry::new();
-        a.summary().register_into(&mut m);
-        let json = m.to_json();
-        assert!(json.contains("\"audit_wbht_decisions\":1"));
-        assert!(json.contains("\"audit_aborts_mispredicted\":1"));
-        assert!(json.contains("\"audit_abort_precision\":0.000000"));
-        assert!(json.contains("\"audit_l2_0_decisions\":1"));
-        let lines = chrome_decision_events(a.history());
-        assert!(lines[0].contains("process_name"));
-        assert!(lines.iter().any(|l| l.contains("\"mispredicted\":1")));
-        assert!(lines.iter().any(|l| l.contains("\"engaged\":1")));
-        assert!(chrome_decision_events(&[]).is_empty());
-    }
-
-    #[test]
-    fn empty_audit_reports_unit_rates() {
-        let s = audit().summary();
-        assert!((s.abort_precision() - 1.0).abs() < 1e-12);
-        assert_eq!(s.useful_snarf_rate(), 0.0);
-        assert!((s.resolved_coverage() - 1.0).abs() < 1e-12);
-        assert_eq!(s.net_cycles(), 0);
     }
 }

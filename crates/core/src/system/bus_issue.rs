@@ -11,6 +11,7 @@ use cmpsim_engine::telemetry::SimEvent;
 use cmpsim_engine::Cycle;
 
 use crate::config::L3Organization;
+use crate::policy::ResponseCtx;
 use crate::system::system::Ev;
 use crate::system::System;
 
@@ -167,9 +168,11 @@ impl System {
                 self.stats.wb_reuse.reused_accepted += 1;
             }
         }
-        if let Some(t) = &mut self.snarf_table {
-            t.observe_miss(line);
-        }
+        self.policy.observe_combined_response(&ResponseCtx {
+            now: t_seen,
+            l2: txn.src.index(),
+            line,
+        });
 
         self.trace(line, &|| {
             format!(
@@ -331,7 +334,7 @@ impl System {
         if l3_issued {
             self.stats.retries_l3 += 1;
         }
-        self.retry_switch.record_retry(now);
+        self.policy.record_retry(now);
     }
 }
 
@@ -345,7 +348,7 @@ mod tests {
 
     #[test]
     fn retry_delay_is_jittered_and_bounded() {
-        let sys = system(PolicyConfig::Baseline);
+        let sys = system(PolicyConfig::baseline());
         let mut txn_seq = TxnId::ZERO;
         let base = sys.cfg.retry_backoff;
         let mut delays = std::collections::HashSet::new();
@@ -369,11 +372,11 @@ mod tests {
 
     #[test]
     fn retry_jitter_seed_shifts_the_sequence_deterministically() {
-        let mut sys_a = system(PolicyConfig::Baseline);
-        let mut sys_b = system(PolicyConfig::Baseline);
+        let mut sys_a = system(PolicyConfig::baseline());
+        let mut sys_b = system(PolicyConfig::baseline());
         sys_a.cfg.retry_jitter_seed = 1;
         sys_b.cfg.retry_jitter_seed = 1;
-        let plain = system(PolicyConfig::Baseline);
+        let plain = system(PolicyConfig::baseline());
         let mut txn_seq = TxnId::ZERO;
         let txn = BusTxn::new(
             txn_seq.bump(),

@@ -1,7 +1,7 @@
 //! Write-back layer: L2 eviction into the snoopable write-back queue,
-//! WBHT filtering at drain time, castout bus issue (ring or private L3
-//! bus), squash/snarf/accept outcome handling, and redundant-clean-WB
-//! accounting.
+//! policy filtering at drain time (WBHT, reuse-distance copy-back),
+//! castout bus issue (ring or private L3 bus), squash/snarf/accept
+//! outcome handling, and redundant-clean-WB accounting.
 
 use cmpsim_cache::LineAddr;
 use cmpsim_coherence::{
@@ -13,7 +13,7 @@ use cmpsim_engine::telemetry::{SimEvent, SquashReason};
 use cmpsim_engine::Cycle;
 
 use crate::config::L3Organization;
-use crate::policy::{PolicyConfig, UpdateScope};
+use crate::policy::{CastoutCtx, CastoutDecision};
 use crate::system::system::Ev;
 use crate::system::System;
 
@@ -55,9 +55,7 @@ impl System {
             // overwrote the map value with `false` here).
             self.wb_pending.insert(line.raw());
             self.wb_accepted.remove(&line.raw());
-            if let Some(t) = &mut self.snarf_table {
-                t.observe_writeback(line);
-            }
+            self.policy.on_castout_issued(line);
             let snarf_eligible = txn.snarf_eligible;
             self.telemetry.emit(now, || SimEvent::CastoutIssued {
                 l2: i as u32,
@@ -117,9 +115,8 @@ impl System {
                 WbOutcome::SnarfedBy(p) => Some(p.index() as u32),
                 _ => None,
             };
-            if let Some(t) = &self.snarf_table {
-                t.record_arbitration(t_seen, i as u32, line, winner);
-            }
+            self.policy
+                .on_snarf_arbitration(t_seen, i as u32, line, winner);
         }
         if let Some(a) = &mut self.audit {
             // Terminal outcome for an audited allow verdict: an
@@ -139,7 +136,7 @@ impl System {
                     line: line.raw(),
                     reason: SquashReason::AlreadyInL3,
                 });
-                self.note_redundant_clean_wb(t_seen, txn.src, line);
+                self.policy.note_redundant_copy_back(t_seen, txn.src, line);
             }
             WbOutcome::SquashedPeerHasCopy(p) => {
                 self.spans.finish(sid, SpanOutcome::Squashed, t_seen);
@@ -271,7 +268,7 @@ impl System {
                     line: line.raw(),
                     reason: SquashReason::AlreadyInL3,
                 });
-                self.note_redundant_clean_wb(arrive, txn.src, line);
+                self.policy.note_redundant_copy_back(arrive, txn.src, line);
             }
             SnoopResponse::L3Hit(_) | SnoopResponse::L3Accept => {
                 match self.l3_for(i).accept_castout_timed(arrive, line, dirty) {
@@ -325,31 +322,6 @@ impl System {
         self.queue.push(arrive + 1, Ev::WbDrain(txn.src));
     }
 
-    /// WBHT allocation on an L3-squashed clean write-back (§2 step 3),
-    /// honouring the update scope (§2.2 / Figure 3).
-    pub(super) fn note_redundant_clean_wb(&mut self, now: Cycle, src: L2Id, line: LineAddr) {
-        let scope = match &self.cfg.policy {
-            PolicyConfig::Wbht(w) => Some(w.scope),
-            PolicyConfig::Combined(w, _) => Some(w.scope),
-            _ => None,
-        };
-        match scope {
-            None => {}
-            Some(UpdateScope::Local) => {
-                if let Some(w) = &mut self.l2s[src.index()].wbht {
-                    w.note_redundant(now, line);
-                }
-            }
-            Some(UpdateScope::Global) => {
-                for l2 in &mut self.l2s {
-                    if let Some(w) = &mut l2.wbht {
-                        w.note_redundant(now, line);
-                    }
-                }
-            }
-        }
-    }
-
     pub(super) fn handle_wb_drain(&mut self, now: Cycle, l2id: L2Id) {
         let i = l2id.index();
         loop {
@@ -376,19 +348,22 @@ impl System {
                 self.l2s[i].draining = !self.l2s[i].castouts_inflight.is_empty();
                 return;
             };
-            // WBHT filtering: consulted off the miss path, after the
+            // Policy filtering: consulted off the miss path, after the
             // victim entered the queue (§2).
-            if !entry.dirty && self.cfg.policy.has_wbht() {
-                let engaged = self.retry_switch.engaged(now);
+            if !entry.dirty && self.policy.caps().filters_clean_castouts {
+                let engaged = self.policy.castout_gate_engaged(now);
                 let in_l3 = match self.cfg.l3_organization {
                     L3Organization::SharedVictim => self.l3.peek(entry.line),
                     L3Organization::PrivatePerL2 => self.private_l3s[i].peek(entry.line),
                 };
-                let abort = self.l2s[i]
-                    .wbht
-                    .as_mut()
-                    .expect("wbht policy implies table")
-                    .should_abort(now, entry.line, engaged, in_l3);
+                let ctx = CastoutCtx {
+                    now,
+                    l2: i,
+                    line: entry.line,
+                    engaged,
+                    in_l3,
+                };
+                let abort = self.policy.on_castout_candidate(&ctx) == CastoutDecision::Abort;
                 if let Some(a) = &mut self.audit {
                     a.record_wbht_decision(i, entry.line.raw(), engaged, abort);
                 }
@@ -402,10 +377,7 @@ impl System {
                     continue;
                 }
             }
-            let eligible = match &mut self.snarf_table {
-                Some(t) => t.check_eligible(entry.line),
-                None => false,
-            };
+            let eligible = self.policy.snarf_eligible(entry.line);
             let mut txn = BusTxn::new(
                 self.txn_seq.bump(),
                 if entry.dirty {
@@ -462,27 +434,27 @@ mod tests {
 
     #[test]
     fn global_scope_notes_redundant_in_every_table() {
-        let mut sys = system(PolicyConfig::Wbht(WbhtConfig {
+        let mut sys = system(PolicyConfig::wbht(WbhtConfig {
             entries: 256,
             assoc: 16,
             scope: UpdateScope::Global,
             granularity: 1,
         }));
         let line = LineAddr::new(16);
-        sys.note_redundant_clean_wb(0, L2Id::new(0), line);
-        for l2 in &sys.l2s {
-            assert!(l2.wbht.as_ref().unwrap().knows(line));
+        sys.policy.note_redundant_copy_back(0, L2Id::new(0), line);
+        for i in 0..sys.l2s.len() {
+            assert!(sys.policy.knows_line(i, line));
         }
         // Local scope: only the writer's table.
-        let mut sys = system(PolicyConfig::Wbht(WbhtConfig {
+        let mut sys = system(PolicyConfig::wbht(WbhtConfig {
             entries: 256,
             assoc: 16,
             scope: UpdateScope::Local,
             granularity: 1,
         }));
-        sys.note_redundant_clean_wb(0, L2Id::new(2), line);
-        for (i, l2) in sys.l2s.iter().enumerate() {
-            assert_eq!(l2.wbht.as_ref().unwrap().knows(line), i == 2);
+        sys.policy.note_redundant_copy_back(0, L2Id::new(2), line);
+        for i in 0..sys.l2s.len() {
+            assert_eq!(sys.policy.knows_line(i, line), i == 2);
         }
     }
 }

@@ -52,8 +52,11 @@ impl System {
             // combined response and this fill (e.g. a snarf landing).
             self.apply_invalidations(l2id, line, Some(()));
         }
-        let evicted = if self.cfg.history_aware_replacement {
-            self.l2s[i].fill_history_aware(line, state, InsertPosition::Mru, 4)
+        let evicted = if self.cfg.history_aware_replacement && self.policy.caps().knows_lines {
+            let policy = &self.policy;
+            self.l2s[i].fill_history_aware(line, state, InsertPosition::Mru, 4, |l| {
+                policy.knows_line(i, l)
+            })
         } else {
             self.l2s[i].fill(line, state, InsertPosition::Mru)
         };
@@ -230,7 +233,7 @@ impl System {
                     L2State::SharedLast
                 };
                 let displaced = if let Some((vline, vst)) =
-                    self.l2s[i].snarf_insert(line, way, st, self.snarf_insert_pos)
+                    self.l2s[i].snarf_insert(line, way, st, self.policy.snarf_insert_pos())
                 {
                     // Victims are Invalid or plain Shared: droppable.
                     debug_assert!(!vst.is_dirty(), "snarf displaced dirty line");
@@ -280,7 +283,7 @@ mod tests {
 
     #[test]
     fn sanitize_demotes_exclusive_against_peers() {
-        let mut sys = system(PolicyConfig::Baseline);
+        let mut sys = system(PolicyConfig::baseline());
         let line = LineAddr::new(100);
         sys.l2s[0].fill(line, L2State::SharedLast, InsertPosition::Mru);
         // Installing E at L2#1 while L2#0 holds an intervener: demote to S.
@@ -309,7 +312,7 @@ mod tests {
 
     #[test]
     fn apply_invalidations_clears_tags_queues_and_l1s() {
-        let mut sys = system(PolicyConfig::Baseline);
+        let mut sys = system(PolicyConfig::baseline());
         let line = LineAddr::new(64);
         sys.l2s[1].fill(line, L2State::Shared, InsertPosition::Mru);
         sys.l2s[2]

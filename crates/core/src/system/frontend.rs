@@ -9,6 +9,7 @@ use cmpsim_engine::telemetry::SimEvent;
 use cmpsim_engine::Cycle;
 use cmpsim_trace::ThreadId;
 
+use crate::policy::CoherenceAction;
 use crate::system::system::Ev;
 use crate::system::thread::Park;
 use crate::system::System;
@@ -87,8 +88,15 @@ impl System {
             // Shared copies now: a recovered dirty line is then the
             // shared dirty owner (T), and a recovered clean line must
             // not claim a second SL.
-            let peer_copies =
-                (0..self.l2s.len()).any(|j| j != i && self.l2s[j].state_of(line).is_some());
+            // In-flight fills count as copies: an intervention this
+            // queue entry served may still be travelling to its
+            // requester, which will install Shared after we recover.
+            let peer_copies = (0..self.l2s.len()).any(|j| {
+                j != i
+                    && (self.l2s[j].state_of(line).is_some()
+                        || self.inbound_fills.contains(&(j as u8, line.raw()))
+                        || self.inbound_snarfs.contains(&(j as u8, line.raw())))
+            });
             let st = match (e.dirty, peer_copies) {
                 (true, false) => L2State::Modified,
                 (true, true) => L2State::Tagged,
@@ -114,7 +122,34 @@ impl System {
                 true
             }
             Some(_) => {
-                // Store on a shared copy: upgrade transaction.
+                // Store on a shared copy: the coherence policy decides
+                // between the base-protocol Upgrade (invalidate peers)
+                // and a write-through-style update.
+                if self.policy.caps().adapts_coherence {
+                    let action = self.policy.on_store_to_shared(t_now, line);
+                    if let Some(a) = &mut self.audit {
+                        a.record_coherence_decision(matches!(
+                            action,
+                            CoherenceAction::Update { .. }
+                        ));
+                    }
+                    if let CoherenceAction::Update { penalty } = action {
+                        // Update-mode store: push the new data to the
+                        // sharers instead of invalidating them. Every
+                        // copy stays Shared (ownership is untouched);
+                        // the store pays the push latency.
+                        self.l2s[i].touch(line);
+                        self.note_l2_hit(i, core, line, is_store);
+                        self.stats.coherence_updates += 1;
+                        self.telemetry.emit(t_now, || SimEvent::CoherenceUpdate {
+                            l2: i as u32,
+                            line: line.raw(),
+                        });
+                        self.threads[ti].next_time += penalty;
+                        self.count_ref(ti, is_store);
+                        return true;
+                    }
+                }
                 self.note_l2_hit(i, core, line, is_store);
                 self.start_miss(t, l2id, line, TxnKind::Upgrade, rec)
             }
@@ -216,7 +251,7 @@ mod tests {
 
     #[test]
     fn upgrades_happen_under_rmw_traffic() {
-        let mut sys = system(PolicyConfig::Baseline);
+        let mut sys = system(PolicyConfig::baseline());
         let stats = sys.run(2_000);
         assert!(stats.upgrades > 0, "migratory RMW must trigger upgrades");
         assert!(
@@ -228,7 +263,7 @@ mod tests {
 
     #[test]
     fn run_twice_continues_with_warm_caches() {
-        let mut sys = system(PolicyConfig::Baseline);
+        let mut sys = system(PolicyConfig::baseline());
         let cold = sys.run(800);
         let warm = sys.run(800);
         // The second run re-processes the same per-thread budget on the

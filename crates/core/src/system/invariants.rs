@@ -149,7 +149,7 @@ mod tests {
 
     #[test]
     fn violations_are_typed_and_described() {
-        let mut sys = system(PolicyConfig::Baseline);
+        let mut sys = system(PolicyConfig::baseline());
         assert_eq!(sys.check_invariants(), Ok(()));
 
         // Two dirty owners of one line.

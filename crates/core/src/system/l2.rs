@@ -11,7 +11,6 @@ use cmpsim_engine::{Cycle, FifoServer, SlotPool};
 use cmpsim_trace::ThreadId;
 
 use crate::config::SystemConfig;
-use crate::policy::Wbht;
 
 /// Reuse bookkeeping for a snarfed line (Table 5 statistics).
 #[derive(Debug, Clone, Copy, Default)]
@@ -40,8 +39,6 @@ pub struct L2Unit {
     /// Snarf line-fill buffers ("we conservatively decline the cache
     /// line" when these are busy, §3).
     pub snarf_buffers: SlotPool,
-    /// This cache's Write-Back History Table, when the policy has one.
-    pub wbht: Option<Wbht>,
     /// Castouts currently arbitrating on the bus; they stay in `wbq`
     /// until resolution so they remain snoopable.
     pub castouts_inflight: FxHashSet<LineAddr>,
@@ -60,7 +57,7 @@ impl L2Unit {
     /// # Panics
     ///
     /// Panics on invalid geometry (configs are validated beforehand).
-    pub fn new(id: L2Id, cfg: &SystemConfig, wbht: Option<Wbht>) -> Self {
+    pub fn new(id: L2Id, cfg: &SystemConfig) -> Self {
         let geometry = SlicedGeometry::new(
             cfg.l2_slices,
             cfg.l2_slice_bytes,
@@ -80,7 +77,6 @@ impl L2Unit {
             snoop_srv: FifoServer::new(cfg.l2_snoop_cycles),
             array_srv: FifoServer::new(cfg.l2_array_cycles),
             snarf_buffers: SlotPool::new(cfg.snarf_buffers.max(1)),
-            wbht,
             castouts_inflight: FxHashSet::default(),
             draining: false,
             waiting_threads: Vec::new(),
@@ -89,11 +85,8 @@ impl L2Unit {
         }
     }
 
-    /// Attaches an event-trace handle (shared by this unit and its WBHT).
+    /// Attaches an event-trace handle.
     pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
-        if let Some(w) = &mut self.wbht {
-            w.attach_telemetry(telemetry.clone(), self.id.index() as u32);
-        }
         self.telemetry = telemetry;
     }
 
@@ -155,35 +148,34 @@ impl L2Unit {
 
     /// Inserts a line using cost-aware victim selection (§7 extension):
     /// among the `window` least-recently-used ways, prefer a clean line
-    /// the WBHT covers (known to be in the L3 — cheap to lose). Falls
-    /// back to plain LRU when no candidate qualifies or the cache has
-    /// no WBHT.
+    /// the policy's history covers (known to be in the L3 — cheap to
+    /// lose). `knows` is the line-knowledge source (the policy stack's
+    /// history query); callers without one use plain [`fill`](Self::fill).
     pub fn fill_history_aware(
         &mut self,
         line: LineAddr,
         st: L2State,
         pos: InsertPosition,
         window: usize,
+        knows: impl Fn(LineAddr) -> bool,
     ) -> Option<(LineAddr, L2State)> {
         let (s, local) = self.slice_and_local(line);
         let slice_bits = self.geometry.slices().trailing_zeros();
         if self.slices[s].invalid_way(local).is_none() {
-            if let Some(wbht) = &self.wbht {
-                let cands = self.slices[s].victim_candidates(local, window);
-                let pick = cands.iter().find(|(way, vlocal)| {
-                    let global = LineAddr::new((vlocal.raw() << slice_bits) | s as u64);
-                    let clean = self.slices[s]
-                        .line_at(*way)
-                        .map(|(_, st)| !st.is_dirty())
-                        .unwrap_or(false);
-                    clean && wbht.knows(global)
+            let cands = self.slices[s].victim_candidates(local, window);
+            let pick = cands.iter().find(|(way, vlocal)| {
+                let global = LineAddr::new((vlocal.raw() << slice_bits) | s as u64);
+                let clean = self.slices[s]
+                    .line_at(*way)
+                    .map(|(_, st)| !st.is_dirty())
+                    .unwrap_or(false);
+                clean && knows(global)
+            });
+            if let Some(&(way, _)) = pick {
+                return self.slices[s].insert_into(local, way, st, pos).map(|ev| {
+                    let global = (ev.line.raw() << slice_bits) | s as u64;
+                    (LineAddr::new(global), ev.state)
                 });
-                if let Some(&(way, _)) = pick {
-                    return self.slices[s].insert_into(local, way, st, pos).map(|ev| {
-                        let global = (ev.line.raw() << slice_bits) | s as u64;
-                        (LineAddr::new(global), ev.state)
-                    });
-                }
             }
         }
         self.fill(line, st, pos)
@@ -272,11 +264,10 @@ impl L2Unit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::WbhtConfig;
 
     fn unit() -> L2Unit {
         let cfg = SystemConfig::scaled(16);
-        L2Unit::new(L2Id::new(0), &cfg, None)
+        L2Unit::new(L2Id::new(0), &cfg)
     }
 
     #[test]
@@ -365,16 +356,42 @@ mod tests {
     }
 
     #[test]
-    fn wbht_is_attachable() {
+    fn history_aware_fill_prefers_known_clean_victims() {
+        let mut u = unit();
         let cfg = SystemConfig::scaled(16);
-        let wbht = Wbht::new(WbhtConfig {
-            entries: 1024,
-            ..Default::default()
-        })
-        .unwrap();
-        let u = L2Unit::new(L2Id::new(1), &cfg, Some(wbht));
-        assert!(u.wbht.is_some());
-        assert_eq!(u.id, L2Id::new(1));
+        let sets = cfg.l2_slice_bytes / cfg.line_bytes / cfg.l2_assoc;
+        let stride = 4 * sets; // same slice, same set
+        for i in 0..cfg.l2_assoc {
+            u.fill(
+                LineAddr::new(8 + i * stride),
+                L2State::Shared,
+                InsertPosition::Mru,
+            );
+        }
+        // LRU is line 8, but the history knows only the second-oldest:
+        // the history-aware fill victimizes the known line instead.
+        let known = LineAddr::new(8 + stride);
+        let ev = u
+            .fill_history_aware(
+                LineAddr::new(8 + 100 * stride),
+                L2State::Shared,
+                InsertPosition::Mru,
+                4,
+                |line| line == known,
+            )
+            .expect("full set must evict");
+        assert_eq!(ev.0, known);
+        // With no knowledge, plain LRU applies.
+        let ev = u
+            .fill_history_aware(
+                LineAddr::new(8 + 101 * stride),
+                L2State::Shared,
+                InsertPosition::Mru,
+                4,
+                |_| false,
+            )
+            .expect("full set must evict");
+        assert_eq!(ev.0, LineAddr::new(8));
     }
 
     #[test]

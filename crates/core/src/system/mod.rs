@@ -17,13 +17,15 @@
 //! | `castout`    | Write-back path: WBQ drain, WBHT filter, castout issue    |
 //! | `fill`       | Completion: fills, snarf absorption, invalidations        |
 //! | `observe`    | Telemetry wiring, statistics accessors, finalization      |
-//! | `audit`      | Decision-quality lineage for WBHT verdicts and snarfs     |
+//! | `audit`      | Decision-quality lineage: verdict recording + resolution  |
+//! | `audit_report` | Audit aggregation: summary rates, metrics, Chrome track |
 //! | `invariants` | Typed protocol-invariant checking                         |
 //! | `l1`/`l2`    | The cache units themselves                                |
 //! | `thread`     | Per-thread issue state                                    |
 //! | `stats`      | Counter structs                                           |
 
 mod audit;
+mod audit_report;
 mod bus_issue;
 mod castout;
 mod fill;
@@ -38,7 +40,8 @@ mod stats;
 mod system;
 mod thread;
 
-pub use audit::{chrome_decision_events, DecisionAudit, DecisionAuditSummary, L2DecisionStats};
+pub use audit::{DecisionAudit, L2DecisionStats};
+pub use audit_report::{chrome_decision_events, DecisionAuditSummary};
 pub use invariants::InvariantViolation;
 pub use l1::L1Cache;
 pub use l2::{L2Unit, SnarfFlags};

@@ -13,29 +13,27 @@ use cmpsim_engine::Cycle;
 use cmpsim_mem::{L3Cache, MemoryController};
 
 use crate::config::L3Organization;
-use crate::policy::{RetrySwitch, RetrySwitchConfig};
-use crate::system::audit::{DecisionAudit, DecisionAuditSummary};
+use crate::policy::RetrySwitchConfig;
+use crate::system::audit::DecisionAudit;
+use crate::system::audit_report::DecisionAuditSummary;
 use crate::system::stats::SystemStats;
 use crate::system::System;
 
 impl System {
     /// Replaces the adaptive retry-rate switch (§6) configuration.
     pub fn set_retry_switch(&mut self, cfg: RetrySwitchConfig) {
-        self.retry_switch = RetrySwitch::new(cfg);
-        self.retry_switch.attach_telemetry(self.telemetry.clone());
+        self.policy.set_retry_switch(cfg);
+        self.policy.attach_telemetry(&self.telemetry);
     }
 
     /// Attaches an event-trace handle and propagates clones of it to
-    /// every instrumented component (L2s and their WBHTs, the retry
-    /// switch, the snarf table, and the L3s).
+    /// every instrumented component (L2s, the policy stack and its
+    /// retry switch, and the L3s).
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         for l2 in &mut self.l2s {
             l2.attach_telemetry(telemetry.clone());
         }
-        self.retry_switch.attach_telemetry(telemetry.clone());
-        if let Some(t) = &mut self.snarf_table {
-            t.attach_telemetry(telemetry.clone());
-        }
+        self.policy.attach_telemetry(&telemetry);
         self.l3.attach_telemetry(telemetry.clone());
         for l3 in &mut self.private_l3s {
             l3.attach_telemetry(telemetry.clone());
@@ -320,22 +318,22 @@ impl System {
     /// Merged WBHT statistics across all L2s (empty stats when the
     /// policy has no WBHT).
     pub fn wbht_stats(&self) -> crate::policy::WbhtStats {
-        let mut acc = crate::policy::WbhtStats::default();
-        for l2 in &self.l2s {
-            if let Some(w) = &l2.wbht {
-                let s = w.stats();
-                acc.decisions += s.decisions;
-                acc.aborted += s.aborted;
-                acc.correct += s.correct;
-                acc.allocated += s.allocated;
-            }
-        }
-        acc
+        self.policy.wbht_stats()
     }
 
     /// Snarf-table statistics (when the policy snarfs).
     pub fn snarf_table_stats(&self) -> Option<crate::policy::SnarfStats> {
-        self.snarf_table.as_ref().map(|t| t.stats())
+        self.policy.snarf_stats()
+    }
+
+    /// Merged reuse-distance copy-back statistics (when stacked).
+    pub fn rdcb_stats(&self) -> Option<crate::policy::RdcbStats> {
+        self.policy.rdcb_stats()
+    }
+
+    /// Hybrid update/invalidate statistics (when stacked).
+    pub fn hybrid_stats(&self) -> Option<crate::policy::HybridStats> {
+        self.policy.hybrid_stats()
     }
 
     pub(super) fn finalize_stats(&mut self) {
@@ -380,7 +378,7 @@ impl System {
         }
         self.stats.snarf.evicted_unused += still_unused;
         if self.audit.is_some() {
-            let (engaged, windows) = self.retry_switch.window_counts();
+            let (engaged, windows) = self.policy.retry_window_counts();
             let now = self.stats.cycles;
             if let Some(a) = &mut self.audit {
                 a.finalize(engaged, windows);
@@ -423,11 +421,11 @@ mod tests {
 
     #[test]
     fn snarf_policy_builds_table_and_buffers() {
-        let sys = system(PolicyConfig::Snarf(SnarfConfig {
+        let sys = system(PolicyConfig::snarf(SnarfConfig {
             entries: 256,
             ..Default::default()
         }));
-        assert!(sys.snarf_table.is_some());
+        assert!(sys.policy.caps().snarfs_castouts);
         assert!(sys.snarf_table_stats().is_some());
     }
 }

@@ -172,7 +172,7 @@ mod tests {
 
     #[test]
     fn snoop_port_is_pipelined() {
-        let mut sys = system(PolicyConfig::Baseline);
+        let mut sys = system(PolicyConfig::baseline());
         let a = sys.snoop_port(1, 100);
         let b = sys.snoop_port(1, 100);
         // Latency is full for both, but the port only serializes by the

@@ -161,6 +161,10 @@ pub struct SystemStats {
     pub fills_from_memory: u64,
     /// Upgrade transactions completed.
     pub upgrades: u64,
+    /// Stores to shared lines completed as updates instead of
+    /// invalidations (hybrid update/invalidate coherence; zero under
+    /// the base write-invalidate protocol).
+    pub coherence_updates: u64,
     /// Read/upgrade transactions re-issued after retries.
     pub read_retries: u64,
     /// Total retry combined-responses observed.

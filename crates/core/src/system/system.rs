@@ -16,7 +16,7 @@ use cmpsim_ring::{Ring, RingTopology};
 use cmpsim_trace::{ReferenceSource, SyntheticWorkload, ThreadId};
 
 use crate::config::{L3Organization, SystemConfig};
-use crate::policy::{PolicyConfig, RetrySwitch, SnarfTable, Wbht};
+use crate::policy::PolicyStack;
 use crate::system::l1::L1Cache;
 use crate::system::l2::L2Unit;
 use crate::system::stats::SystemStats;
@@ -105,9 +105,10 @@ pub struct System {
     pub(super) l2s: Vec<L2Unit>,
     pub(super) l1s: Vec<L1Cache>,
     pub(super) threads: Vec<ThreadCtx>,
-    pub(super) retry_switch: RetrySwitch,
-    pub(super) snarf_table: Option<SnarfTable>,
-    pub(super) snarf_insert_pos: cmpsim_cache::InsertPosition,
+    /// The pluggable adaptive-policy stack (WBHT, snarf, rivals) plus
+    /// the shared retry-rate switch; every pipeline stage dispatches
+    /// through its hook points.
+    pub(super) policy: PolicyStack,
     pub(super) txn_seq: TxnId,
     pub(super) stats: SystemStats,
     /// Lines written back and not yet re-referenced (Table 2 tracking).
@@ -234,27 +235,13 @@ impl System {
     ) -> Result<Self, SystemError> {
         cfg.validate()?;
 
-        // Policy wiring.
-        let (wbht_cfg, snarf_cfg) = match &cfg.policy {
-            PolicyConfig::Baseline => (None, None),
-            PolicyConfig::Wbht(w) => (Some(*w), None),
-            PolicyConfig::Snarf(s) => (None, Some(*s)),
-            PolicyConfig::Combined(w, s) => (Some(*w), Some(*s)),
-        };
-        let snarf_table = match snarf_cfg {
-            Some(s) => Some(SnarfTable::new(s)?),
-            None => None,
-        };
-        let snarf_insert_pos = snarf_cfg
-            .map(|s| s.insert_pos)
-            .unwrap_or(cmpsim_cache::InsertPosition::Mru);
+        // Policy wiring: every configured mechanism becomes a plugged-in
+        // policy on the stack the pipeline stages dispatch through.
+        let policy = PolicyStack::new(&cfg.policy, cfg.num_l2 as usize, cfg.retry_switch)?;
 
         let l2s = L2Id::all(cfg.num_l2)
-            .map(|id| {
-                let wbht = wbht_cfg.map(Wbht::new).transpose()?;
-                Ok(L2Unit::new(id, &cfg, wbht))
-            })
-            .collect::<Result<Vec<_>, cmpsim_cache::GeometryError>>()?;
+            .map(|id| L2Unit::new(id, &cfg))
+            .collect::<Vec<_>>();
 
         let l1s = match cfg.l1 {
             Some(l1cfg) => (0..cfg.cores)
@@ -266,7 +253,6 @@ impl System {
         let topo = RingTopology::standard_cmp(cfg.num_l2, cfg.ring.hop_cycles);
         let ring = Ring::new(topo, cfg.ring);
         let num_l2 = cfg.num_l2 as usize;
-        let retry_switch = RetrySwitch::new(cfg.retry_switch);
 
         let (private_l3s, private_l3_links) = match cfg.l3_organization {
             L3Organization::SharedVictim => (Vec::new(), Vec::new()),
@@ -300,9 +286,7 @@ impl System {
             l2s,
             l1s,
             threads: Vec::new(),
-            retry_switch,
-            snarf_table,
-            snarf_insert_pos,
+            policy,
             txn_seq: TxnId::ZERO,
             stats: SystemStats::new(num_l2),
             wb_pending: FxHashSet::default(),

@@ -172,6 +172,14 @@ pub enum SimEvent {
         /// Accepted line address.
         line: u64,
     },
+    /// A store to a shared line completed as an update instead of an
+    /// invalidation (hybrid update/invalidate coherence).
+    CoherenceUpdate {
+        /// Writing L2 slice.
+        l2: u32,
+        /// Updated line address.
+        line: u64,
+    },
     /// The WBHT allocated (or refreshed) an entry for a redundant line.
     WbhtAllocate {
         /// Allocating L2 slice.
@@ -257,6 +265,7 @@ impl SimEvent {
             SimEvent::CastoutSquashed { .. } => "castout_squashed",
             SimEvent::CastoutSnarfed { .. } => "castout_snarfed",
             SimEvent::CastoutAccepted { .. } => "castout_accepted",
+            SimEvent::CoherenceUpdate { .. } => "coherence_update",
             SimEvent::WbhtAllocate { .. } => "wbht_allocate",
             SimEvent::WbhtPredict { .. } => "wbht_predict",
             SimEvent::WbhtMispredict { .. } => "wbht_mispredict",
@@ -310,6 +319,7 @@ impl SimEvent {
             }
             SimEvent::CastoutAborted { l2, line }
             | SimEvent::CastoutAccepted { l2, line }
+            | SimEvent::CoherenceUpdate { l2, line }
             | SimEvent::WbhtAllocate { l2, line }
             | SimEvent::SnarfBufferDeclined { l2, line } => {
                 push_kv(&mut s, &[("l2", J::U(*l2 as u64)), ("line", J::U(*line))]);

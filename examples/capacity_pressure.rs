@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for entries in [512u64, 1024, 2048, 4096, 8192] {
         let mut cfg = SystemConfig::scaled(8);
         cfg.max_outstanding = 6;
-        cfg.policy = PolicyConfig::Wbht(WbhtConfig {
+        cfg.policy = PolicyConfig::wbht(WbhtConfig {
             entries,
             ..Default::default()
         });

@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cfg.max_outstanding = pressure;
         let base = run(RunSpec::for_workload(cfg.clone(), Workload::Tp, 10_000))?;
 
-        cfg.policy = PolicyConfig::Snarf(SnarfConfig {
+        cfg.policy = PolicyConfig::snarf(SnarfConfig {
             entries: 4096,
             ..Default::default()
         });

@@ -13,17 +13,17 @@ use cmp_hierarchies::trace::Workload;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let refs = 8_000;
     let policies: [(&str, PolicyConfig); 4] = [
-        ("baseline", PolicyConfig::Baseline),
+        ("baseline", PolicyConfig::baseline()),
         (
             "wbht",
-            PolicyConfig::Wbht(WbhtConfig {
+            PolicyConfig::wbht(WbhtConfig {
                 entries: 4096,
                 ..Default::default()
             }),
         ),
         (
             "snarf",
-            PolicyConfig::Snarf(SnarfConfig {
+            PolicyConfig::snarf(SnarfConfig {
                 entries: 4096,
                 ..Default::default()
             }),
@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // §5.3: both tables halved to keep total area constant.
         (
             "combined",
-            PolicyConfig::Combined(
+            PolicyConfig::combined(
                 WbhtConfig {
                     entries: 2048,
                     ..Default::default()

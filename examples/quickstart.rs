@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Add the paper's Write-Back History Table (32K entries at full
     // scale; scaled here to keep the table:cache ratio).
-    cfg.policy = PolicyConfig::Wbht(WbhtConfig {
+    cfg.policy = PolicyConfig::wbht(WbhtConfig {
         entries: 4096,
         ..Default::default()
     });

@@ -71,6 +71,22 @@ echo "==> decision-audit consistency gate (policy_audit --check)"
 # audit-off, and (nearly) every recorded decision must resolve.
 CMPSIM_PROFILE=smoke ./target/release/policy_audit --check >/dev/null
 
+echo "==> policy matrix smoke (cmpsim --policy, every variant + a composition)"
+# Every selectable policy — including the post-paper rdcb and hybrid
+# ones and a '+' composition — must run and emit well-formed JSON.
+for pol in baseline wbht snarf combined rdcb hybrid wbht+hybrid; do
+    if ! ./target/release/cmpsim --policy "$pol" --refs 2000 --seed 42 --json \
+        | grep -q "\"policy\""; then
+        echo "verify: FAILED — cmpsim --policy $pol did not produce a JSON report" >&2
+        exit 1
+    fi
+done
+
+echo "==> policy face-off harness gate (exp_policy_faceoff --check)"
+# Every contender must complete, the new policies must populate their
+# report sections, and the span attribution must record fills.
+CMPSIM_PROFILE=smoke ./target/release/exp_policy_faceoff --check
+
 echo "==> live telemetry stream smoke (profile_report + telemetry_tail)"
 # End to end: a --jobs 2 grid serves frames on a Unix socket while a
 # tail attaches, consumes at least one host sample, and exits 0.

@@ -21,8 +21,8 @@
 use std::process::ExitCode;
 
 use cmp_hierarchies::adaptive::{
-    chrome_decision_events, PolicyConfig, RunReport, SnarfConfig, System, SystemConfig,
-    UpdateScope, WbhtConfig,
+    chrome_decision_events, HybridConfig, PolicyConfig, RdcbConfig, RunReport, SnarfConfig, System,
+    SystemConfig, UpdateScope, WbhtConfig,
 };
 use cmp_hierarchies::engine::profiler::{chrome_host_events, HostProfiler, DEFAULT_STRIDE};
 use cmp_hierarchies::engine::progress::ProgressMeter;
@@ -159,6 +159,68 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// Parses a `--policy` spec: one mechanism name or several joined with
+/// `+` (e.g. `wbht+hybrid`). `combined` is shorthand for the paper's
+/// wbht+snarf corner with the table budget split between the two.
+fn parse_policy(
+    spec: &str,
+    entries: u64,
+    scope: UpdateScope,
+    granularity: u64,
+) -> Result<PolicyConfig, String> {
+    let mut p = PolicyConfig::default();
+    for part in spec.split('+') {
+        match part.trim() {
+            "base" | "baseline" => {}
+            "wbht" => {
+                p.wbht = Some(WbhtConfig {
+                    entries,
+                    assoc: 16,
+                    scope,
+                    granularity,
+                })
+            }
+            "snarf" => {
+                p.snarf = Some(SnarfConfig {
+                    entries,
+                    ..Default::default()
+                })
+            }
+            "combined" => {
+                p.wbht = Some(WbhtConfig {
+                    entries: (entries / 2).max(256),
+                    assoc: 16,
+                    scope,
+                    granularity,
+                });
+                p.snarf = Some(SnarfConfig {
+                    entries: (entries / 2).max(256),
+                    ..Default::default()
+                });
+            }
+            "rdcb" => {
+                p.rdcb = Some(RdcbConfig {
+                    entries,
+                    ..Default::default()
+                })
+            }
+            "hybrid" => {
+                p.hybrid = Some(HybridConfig {
+                    entries,
+                    ..Default::default()
+                })
+            }
+            other => {
+                return Err(format!(
+                    "unknown policy {other} (expected base|wbht|snarf|combined|rdcb|hybrid, \
+                     joinable with '+')"
+                ))
+            }
+        }
+    }
+    Ok(p)
+}
+
 fn parse_num(s: &str) -> Result<u64, String> {
     let s = s.replace('_', "");
     if let Some(hex) = s.strip_prefix("0x") {
@@ -175,7 +237,9 @@ USAGE:
 
 OPTIONS:
     -w, --workload NAME    tp | cpw2 | notesbench | trade2   [trade2]
-    -p, --policy NAME      baseline | wbht | snarf | combined [baseline]
+    -p, --policy NAME      baseline | wbht | snarf | combined | rdcb |
+                           hybrid, joinable with '+' (e.g. wbht+hybrid)
+                           [baseline]
         --entries N        history-table entries (0 = scaled 32K) [0]
     -o, --outstanding N    max outstanding misses/thread (1-6) [6]
     -n, --refs N           references per thread [20000]
@@ -254,32 +318,7 @@ fn real_main() -> Result<(), String> {
     } else {
         UpdateScope::Local
     };
-    cfg.policy = match args.policy.as_str() {
-        "baseline" => PolicyConfig::Baseline,
-        "wbht" => PolicyConfig::Wbht(WbhtConfig {
-            entries,
-            assoc: 16,
-            scope,
-            granularity: args.granularity,
-        }),
-        "snarf" => PolicyConfig::Snarf(SnarfConfig {
-            entries,
-            ..Default::default()
-        }),
-        "combined" => PolicyConfig::Combined(
-            WbhtConfig {
-                entries: (entries / 2).max(256),
-                assoc: 16,
-                scope,
-                granularity: args.granularity,
-            },
-            SnarfConfig {
-                entries: (entries / 2).max(256),
-                ..Default::default()
-            },
-        ),
-        other => return Err(format!("unknown policy {other}")),
-    };
+    cfg.policy = parse_policy(&args.policy, entries, scope, args.granularity)?;
 
     let mut sys = match &args.trace {
         Some(path) => {
@@ -380,6 +419,8 @@ fn real_main() -> Result<(), String> {
         ring: sys.ring_stats(),
         wbht: sys.wbht_stats(),
         snarf_table: sys.snarf_table_stats(),
+        rdcb: sys.rdcb_stats(),
+        hybrid: sys.hybrid_stats(),
         intervals: sys.interval_records().to_vec(),
         spans: if tracing_spans {
             span_tracer.finished_spans()

@@ -2,12 +2,14 @@
 //! byte-identical reports, with every stochastic knob (workload seed,
 //! retry-jitter salt) explicit in the spec.
 
-use cmp_hierarchies::adaptive::{run, PolicyConfig, RunSpec, SnarfConfig, SystemConfig};
+use cmp_hierarchies::adaptive::{
+    run, HybridConfig, PolicyConfig, RdcbConfig, RunSpec, SnarfConfig, SystemConfig,
+};
 use cmp_hierarchies::trace::Workload;
 
 fn spec_with_seeds(workload_seed: u64, jitter_seed: u64) -> RunSpec {
     let mut cfg = SystemConfig::scaled(16);
-    cfg.policy = PolicyConfig::Snarf(SnarfConfig {
+    cfg.policy = PolicyConfig::snarf(SnarfConfig {
         entries: 512,
         ..Default::default()
     });
@@ -41,6 +43,44 @@ fn workload_seed_is_a_real_knob() {
         b.to_json(),
         "different workload seeds must explore different streams"
     );
+}
+
+fn spec_with_policy(policy: PolicyConfig) -> RunSpec {
+    let mut cfg = SystemConfig::scaled(16);
+    cfg.policy = policy;
+    cfg.max_outstanding = 6;
+    cfg.seed = 0xBEEF;
+    RunSpec::for_workload(cfg, Workload::Trade2, 1_500)
+}
+
+#[test]
+fn rdcb_policy_replays_byte_identical_reports() {
+    let policy = || {
+        PolicyConfig::rdcb(RdcbConfig {
+            entries: 512,
+            ..Default::default()
+        })
+    };
+    let a = run(spec_with_policy(policy())).unwrap();
+    let b = run(spec_with_policy(policy())).unwrap();
+    assert_eq!(a.to_json(), b.to_json());
+    assert_eq!(a.to_csv(), b.to_csv());
+    assert!(a.rdcb.is_some(), "rdcb section must be populated");
+}
+
+#[test]
+fn hybrid_policy_replays_byte_identical_reports() {
+    let policy = || {
+        PolicyConfig::hybrid(HybridConfig {
+            entries: 512,
+            ..Default::default()
+        })
+    };
+    let a = run(spec_with_policy(policy())).unwrap();
+    let b = run(spec_with_policy(policy())).unwrap();
+    assert_eq!(a.to_json(), b.to_json());
+    assert_eq!(a.to_csv(), b.to_csv());
+    assert!(a.hybrid.is_some(), "hybrid section must be populated");
 }
 
 #[test]

@@ -15,7 +15,7 @@ use cmp_hierarchies::trace::Workload;
 
 fn base_spec(refs: u64) -> RunSpec {
     let mut cfg = SystemConfig::scaled(16);
-    cfg.policy = PolicyConfig::Baseline;
+    cfg.policy = PolicyConfig::baseline();
     RunSpec::for_workload(cfg, Workload::Trade2, refs)
 }
 

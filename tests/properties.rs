@@ -50,15 +50,15 @@ fn arb_params() -> impl Strategy<Value = WorkloadParams> {
 
 fn arb_policy() -> impl Strategy<Value = PolicyConfig> {
     prop_oneof![
-        Just(PolicyConfig::Baseline),
+        Just(PolicyConfig::baseline()),
         (256u64..2048u64).prop_map(|e| {
-            PolicyConfig::Wbht(WbhtConfig {
+            PolicyConfig::wbht(WbhtConfig {
                 entries: e.next_power_of_two(),
                 ..Default::default()
             })
         }),
         (256u64..2048u64).prop_map(|e| {
-            PolicyConfig::Snarf(SnarfConfig {
+            PolicyConfig::snarf(SnarfConfig {
                 entries: e.next_power_of_two(),
                 ..Default::default()
             })

@@ -95,7 +95,7 @@ const X: u64 = 0x1000; // scenario line
 fn cold_load_installs_exclusive() {
     let mut s = Scenario::new(50);
     s.load(0, X);
-    let sys = s.run(PolicyConfig::Baseline);
+    let sys = s.run(PolicyConfig::baseline());
     assert_eq!(sys.l2_state(0, line_addr(X)), Some(L2State::Exclusive));
     for l2 in 1..4 {
         assert_eq!(sys.l2_state(l2, line_addr(X)), None);
@@ -106,7 +106,7 @@ fn cold_load_installs_exclusive() {
 fn store_after_load_upgrades_silently_from_e() {
     let mut s = Scenario::new(50);
     s.load(0, X).store(0, X);
-    let sys = s.run(PolicyConfig::Baseline);
+    let sys = s.run(PolicyConfig::baseline());
     // E -> M on store hit, no bus transaction needed.
     assert_eq!(sys.l2_state(0, line_addr(X)), Some(L2State::Modified));
     assert_eq!(sys.stats().upgrades, 0);
@@ -116,7 +116,7 @@ fn store_after_load_upgrades_silently_from_e() {
 fn cold_store_installs_modified() {
     let mut s = Scenario::new(50);
     s.store(4, X);
-    let sys = s.run(PolicyConfig::Baseline);
+    let sys = s.run(PolicyConfig::baseline());
     assert_eq!(sys.l2_state(1, line_addr(X)), Some(L2State::Modified));
 }
 
@@ -127,7 +127,7 @@ fn read_of_modified_line_creates_tagged_owner() {
     // later (idle padding orders the accesses on the virtual clock).
     s.store(0, X);
     s.idle(4, 300).load(4, X);
-    let sys = s.run(PolicyConfig::Baseline);
+    let sys = s.run(PolicyConfig::baseline());
     // Dirty intervention: provider keeps ownership as T, reader gets S.
     assert_eq!(sys.l2_state(0, line_addr(X)), Some(L2State::Tagged));
     assert_eq!(sys.l2_state(1, line_addr(X)), Some(L2State::Shared));
@@ -139,7 +139,7 @@ fn clean_intervention_hands_over_shared_last() {
     let mut s = Scenario::new(400);
     s.load(0, X); // E at L2#0
     s.idle(4, 300).load(4, X); // clean intervention
-    let sys = s.run(PolicyConfig::Baseline);
+    let sys = s.run(PolicyConfig::baseline());
     // Provider E -> S; requester receives SL (the intervention token).
     assert_eq!(sys.l2_state(0, line_addr(X)), Some(L2State::Shared));
     assert_eq!(sys.l2_state(1, line_addr(X)), Some(L2State::SharedLast));
@@ -151,7 +151,7 @@ fn rfo_invalidates_every_peer_copy() {
     s.load(0, X);
     s.idle(4, 200).load(4, X);
     s.idle(8, 400).store(8, X); // RFO from L2#2
-    let sys = s.run(PolicyConfig::Baseline);
+    let sys = s.run(PolicyConfig::baseline());
     assert_eq!(sys.l2_state(2, line_addr(X)), Some(L2State::Modified));
     assert_eq!(sys.l2_state(0, line_addr(X)), None);
     assert_eq!(sys.l2_state(1, line_addr(X)), None);
@@ -163,7 +163,7 @@ fn store_on_shared_copy_issues_upgrade() {
     s.load(0, X);
     s.idle(4, 200).load(4, X); // now S at L2#0, SL at L2#1
     s.idle(0, 450).store(0, X); // store on the S copy -> upgrade
-    let sys = s.run(PolicyConfig::Baseline);
+    let sys = s.run(PolicyConfig::baseline());
     assert_eq!(sys.l2_state(0, line_addr(X)), Some(L2State::Modified));
     assert_eq!(sys.l2_state(1, line_addr(X)), None);
     assert!(sys.stats().upgrades >= 1, "expected an upgrade transaction");
@@ -181,7 +181,7 @@ fn capacity_eviction_casts_out_and_l3_serves_refetch() {
     }
     s.idle(0, 400);
     s.load(0, X); // refetch after the castout resolved
-    let sys = s.run(PolicyConfig::Baseline);
+    let sys = s.run(PolicyConfig::baseline());
     let stats = sys.stats();
     assert!(
         stats.wb.dirty_requests >= 1,
@@ -210,7 +210,7 @@ fn second_clean_castout_is_squashed_as_redundant() {
     for k in 9..=16 {
         s.load(0, X + k * stride);
     }
-    let sys = s.run(PolicyConfig::Baseline);
+    let sys = s.run(PolicyConfig::baseline());
     assert!(
         sys.stats().wb.clean_squashed_l3 >= 1,
         "second castout of a clean L3-resident line must be squashed (got {:?})",
@@ -227,7 +227,7 @@ fn private_l3_keeps_castouts_out_of_the_ring() {
         s.load(0, X + k * stride);
     }
     let mut cfg = SystemConfig::scaled(16);
-    cfg.policy = PolicyConfig::Baseline;
+    cfg.policy = PolicyConfig::baseline();
     cfg.l3_organization = cmp_hierarchies::adaptive::L3Organization::PrivatePerL2;
     cfg.max_outstanding = 1;
     // Pad threads.

@@ -16,7 +16,7 @@ use cmp_hierarchies::trace::Workload;
 
 fn traced_spec(refs: u64, sample: u64) -> RunSpec {
     let mut cfg = SystemConfig::scaled(16);
-    cfg.policy = PolicyConfig::Baseline;
+    cfg.policy = PolicyConfig::baseline();
     let mut spec = RunSpec::for_workload(cfg, Workload::Trade2, refs);
     spec.retry_switch = Some(RetrySwitchConfig::scaled(16));
     spec.span_tracer = SpanTracer::sampled(sample);

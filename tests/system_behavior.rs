@@ -24,14 +24,14 @@ fn spec_for(cfg: SystemConfig, wl: Workload, refs: u64) -> RunSpec {
 }
 
 fn wbht(entries: u64) -> PolicyConfig {
-    PolicyConfig::Wbht(WbhtConfig {
+    PolicyConfig::wbht(WbhtConfig {
         entries,
         ..Default::default()
     })
 }
 
 fn snarf(entries: u64) -> PolicyConfig {
-    PolicyConfig::Snarf(SnarfConfig {
+    PolicyConfig::snarf(SnarfConfig {
         entries,
         ..Default::default()
     })
@@ -39,7 +39,7 @@ fn snarf(entries: u64) -> PolicyConfig {
 
 #[test]
 fn simulation_is_deterministic() {
-    for policy in [PolicyConfig::Baseline, wbht(1024), snarf(1024)] {
+    for policy in [PolicyConfig::baseline(), wbht(1024), snarf(1024)] {
         let spec = spec_for(cfg_with(policy, 6), Workload::Trade2, 3_000);
         let a = run(spec.clone()).unwrap();
         let b = run(spec).unwrap();
@@ -54,7 +54,7 @@ fn simulation_is_deterministic() {
 fn all_references_are_processed() {
     let refs = 2_500u64;
     for wl in Workload::all() {
-        let r = run(spec_for(cfg_with(PolicyConfig::Baseline, 4), wl, refs)).unwrap();
+        let r = run(spec_for(cfg_with(PolicyConfig::baseline(), 4), wl, refs)).unwrap();
         assert_eq!(r.stats.refs, refs * 16, "{wl}: refs processed");
         assert_eq!(
             r.stats.loads + r.stats.stores,
@@ -68,10 +68,10 @@ fn all_references_are_processed() {
 #[test]
 fn coherence_invariants_hold_for_every_policy() {
     for policy in [
-        PolicyConfig::Baseline,
+        PolicyConfig::baseline(),
         wbht(1024),
         snarf(1024),
-        PolicyConfig::Combined(
+        PolicyConfig::combined(
             WbhtConfig {
                 entries: 512,
                 ..Default::default()
@@ -95,7 +95,7 @@ fn coherence_invariants_hold_for_every_policy() {
 #[test]
 fn wbht_reduces_writeback_requests_under_pressure() {
     let base = run(spec_for(
-        cfg_with(PolicyConfig::Baseline, 6),
+        cfg_with(PolicyConfig::baseline(), 6),
         Workload::Trade2,
         6_000,
     ))
@@ -173,7 +173,7 @@ fn castout_outcomes_are_conserved() {
 #[test]
 fn global_scope_allocates_more_wbht_entries() {
     let local_cfg = cfg_with(
-        PolicyConfig::Wbht(WbhtConfig {
+        PolicyConfig::wbht(WbhtConfig {
             entries: 2048,
             assoc: 16,
             scope: UpdateScope::Local,
@@ -182,7 +182,7 @@ fn global_scope_allocates_more_wbht_entries() {
         6,
     );
     let global_cfg = cfg_with(
-        PolicyConfig::Wbht(WbhtConfig {
+        PolicyConfig::wbht(WbhtConfig {
             entries: 2048,
             assoc: 16,
             scope: UpdateScope::Global,
@@ -206,7 +206,7 @@ fn per_link_ring_detail_runs() {
     // The per-link wormhole data-ring model is a drop-in fidelity
     // upgrade: simulations complete, conserve references, and stay
     // coherent.
-    let mut cfg = cfg_with(PolicyConfig::Baseline, 6);
+    let mut cfg = cfg_with(PolicyConfig::baseline(), 6);
     cfg.ring.detail = cmp_hierarchies::ring::RingDetail::PerLink;
     let params = Workload::Trade2.params(cfg.num_threads(), cfg.cache_scale());
     let mut sys = System::new(cfg, params).unwrap();
@@ -232,7 +232,7 @@ fn history_aware_replacement_runs_and_differs() {
 fn wbht_granularity_trades_coverage_for_errors() {
     let mk = |granularity| {
         let mut c = cfg_with(
-            PolicyConfig::Wbht(WbhtConfig {
+            PolicyConfig::wbht(WbhtConfig {
                 entries: 512,
                 assoc: 16,
                 scope: UpdateScope::Local,
@@ -262,7 +262,7 @@ fn wbht_granularity_trades_coverage_for_errors() {
 
 #[test]
 fn private_l3_organization_is_coherent() {
-    let mut cfg = cfg_with(PolicyConfig::Baseline, 6);
+    let mut cfg = cfg_with(PolicyConfig::baseline(), 6);
     cfg.l3_organization = cmp_hierarchies::adaptive::L3Organization::PrivatePerL2;
     let params = Workload::Tp.params(cfg.num_threads(), cfg.cache_scale());
     let mut sys = System::new(cfg, params).unwrap();
@@ -278,7 +278,7 @@ fn private_l3_organization_is_coherent() {
 
 #[test]
 fn l1_can_be_disabled() {
-    let mut cfg = cfg_with(PolicyConfig::Baseline, 4);
+    let mut cfg = cfg_with(PolicyConfig::baseline(), 4);
     cfg.l1 = None;
     let r = run(spec_for(cfg, Workload::Cpw2, 2_000)).unwrap();
     assert_eq!(r.stats.l1_hits, 0);
@@ -291,13 +291,13 @@ fn pressure_increases_runtime_density() {
     // = fewer cycles for the same reference stream.
     let refs = 4_000;
     let r1 = run(spec_for(
-        cfg_with(PolicyConfig::Baseline, 1),
+        cfg_with(PolicyConfig::baseline(), 1),
         Workload::Cpw2,
         refs,
     ))
     .unwrap();
     let r6 = run(spec_for(
-        cfg_with(PolicyConfig::Baseline, 6),
+        cfg_with(PolicyConfig::baseline(), 6),
         Workload::Cpw2,
         refs,
     ))
@@ -315,7 +315,7 @@ fn table1_band_clean_redundancy() {
     // Table 1: the fraction of clean write-backs already valid in the
     // L3 is substantial for every workload ("can be greater than 50%").
     for wl in Workload::all() {
-        let r = run(spec_for(cfg_with(PolicyConfig::Baseline, 6), wl, 8_000)).unwrap();
+        let r = run(spec_for(cfg_with(PolicyConfig::baseline(), 6), wl, 8_000)).unwrap();
         let rate = r.stats.wb.clean_redundant_rate();
         assert!(
             (0.15..0.95).contains(&rate),

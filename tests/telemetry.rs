@@ -17,7 +17,7 @@ use cmp_hierarchies::trace::Workload;
 
 fn combined_cfg() -> SystemConfig {
     let mut cfg = SystemConfig::scaled(16);
-    cfg.policy = PolicyConfig::Combined(
+    cfg.policy = PolicyConfig::combined(
         WbhtConfig {
             entries: 1024,
             assoc: 16,
