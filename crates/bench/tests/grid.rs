@@ -54,4 +54,58 @@ fn parallel_grid_matches_serial_loop_in_order() {
 #[test]
 fn empty_grid_is_fine() {
     assert!(run_grid(Vec::new(), 8).is_empty());
+    // Degenerate worker counts on the degenerate grid too.
+    assert!(run_grid(Vec::new(), 0).is_empty());
+    assert!(run_grid(Vec::new(), 1).is_empty());
+}
+
+fn tiny_profile() -> Profile {
+    Profile {
+        scale_factor: 16,
+        refs_per_thread: 300,
+        seeds: 1,
+    }
+}
+
+#[test]
+fn more_jobs_than_specs_is_fine() {
+    // One spec, sixteen workers: fifteen must exit cleanly without
+    // claiming anything, and the result is still the serial report.
+    let p = tiny_profile();
+    let serial = run(p.spec(p.config(), Workload::Cpw2))
+        .expect("valid spec")
+        .to_json();
+    let reports = run_grid(vec![p.spec(p.config(), Workload::Cpw2)], 16);
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].to_json(), serial);
+}
+
+#[test]
+fn zero_jobs_clamps_to_one_worker() {
+    let p = tiny_profile();
+    let serial = run(p.spec(p.config(), Workload::Tp))
+        .expect("valid spec")
+        .to_json();
+    let reports = run_grid(vec![p.spec(p.config(), Workload::Tp)], 0);
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].to_json(), serial);
+}
+
+#[test]
+fn invalid_spec_panics_through_the_grid_on_any_worker_count() {
+    // run_grid's contract is "specs come from validated profiles"; a
+    // spec that cannot build must abort the grid loudly (propagated
+    // worker panic), never return a short or reordered report list.
+    let p = tiny_profile();
+    let mut bad = p.spec(p.config(), Workload::Tp);
+    bad.config.l2_slice_bytes = 12_345; // not a power-of-two geometry
+    for jobs in [1, 4] {
+        let specs = vec![p.spec(p.config(), Workload::Tp), bad.clone()];
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_grid(specs, jobs)));
+        assert!(
+            result.is_err(),
+            "invalid spec must panic through run_grid at jobs={jobs}"
+        );
+    }
 }

@@ -203,6 +203,29 @@ impl SystemConfig {
         c
     }
 
+    /// The paper's machine scaled *out* to `cores` cores: structure and
+    /// latencies are preserved (two SMT threads per core, one L2 per
+    /// core pair, same per-L2 capacity), only the agent count grows.
+    /// This is the >8-core topology axis the ring hierarchy invites —
+    /// a 32- or 64-core chip puts proportionally more L2 agents on the
+    /// snooped ring, which is exactly the configuration sharded
+    /// execution (`--shards`) is meant to make affordable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is not a positive multiple of 2 (an L2 serves
+    /// a core pair).
+    pub fn with_cores(cores: u8) -> Self {
+        assert!(
+            cores >= 2 && cores.is_multiple_of(2),
+            "cores must be a positive multiple of 2 (one L2 per core pair), got {cores}"
+        );
+        let mut c = Self::paper();
+        c.cores = cores;
+        c.num_l2 = cores / 2;
+        c
+    }
+
     /// Total hardware threads.
     pub fn num_threads(&self) -> u16 {
         self.cores as u16 * self.threads_per_core as u16
@@ -301,6 +324,29 @@ mod tests {
         assert_eq!(c.core_of_thread(ThreadId::new(1)), 0);
         assert_eq!(c.core_of_thread(ThreadId::new(2)), 1);
         assert_eq!(c.core_of_thread(ThreadId::new(15)), 7);
+    }
+
+    #[test]
+    fn scaled_out_topologies_are_valid() {
+        for cores in [2, 8, 16, 32, 64] {
+            let c = SystemConfig::with_cores(cores);
+            assert!(c.validate().is_ok(), "{cores} cores");
+            assert_eq!(c.num_threads(), cores as u16 * 2);
+            assert_eq!(c.num_l2, cores / 2);
+            // Thread→L2 mapping stays a clean core-pair partition.
+            let threads_per_l2 = c.num_threads() as usize / c.num_l2 as usize;
+            assert_eq!(threads_per_l2, 4);
+            assert_eq!(
+                c.l2_of_thread(ThreadId::new(c.num_threads() - 1)),
+                L2Id::new(c.num_l2 - 1)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 2")]
+    fn odd_core_count_rejected() {
+        let _ = SystemConfig::with_cores(7);
     }
 
     #[test]

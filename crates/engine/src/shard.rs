@@ -1,0 +1,330 @@
+//! Conservative-lookahead machinery for sharded (parallel-in-one-run)
+//! execution.
+//!
+//! The simulated machine's agents can advance concurrently only inside
+//! *conservative time windows*: a shard executing window `k` may not
+//! observe an effect produced in window `k` by another shard, so the
+//! window width must be a lower bound on the latency of any cross-shard
+//! interaction. In the modelled CMP that bound is the ring's minimum
+//! hop latency — no message reaches another agent in fewer cycles than
+//! one ring hop ([`Lookahead::from_ring_hop`]).
+//!
+//! Three pieces live here:
+//!
+//! * [`Lookahead`] — the bound itself, plus derived sizes (how far, in
+//!   references, a frontend producer may run ahead of the event loop).
+//! * [`WindowPlan`] — the window algebra: which window a cycle falls in
+//!   and where the boundaries are. The defining property (checked by the
+//!   property tests): a message sent in window `k` with at least the
+//!   lookahead of latency is delivered in a window strictly after `k`,
+//!   so no event ever crosses a window boundary backwards.
+//! * [`DelayedQueue`] — a deliver-at-time mailbox for cross-shard
+//!   messages (the `cachesim-rs-mp` delayed-message-queue shape):
+//!   senders enqueue with an explicit delivery time at least one
+//!   lookahead ahead, receivers drain everything due in their current
+//!   window. Same-sender messages stay in send order.
+
+use std::collections::VecDeque;
+
+use crate::Cycle;
+
+/// A conservative lower bound on cross-shard latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lookahead {
+    cycles: Cycle,
+}
+
+impl Lookahead {
+    /// A lookahead of `cycles` (clamped to at least 1: a zero-width
+    /// window would serialize everything).
+    pub fn new(cycles: Cycle) -> Self {
+        Lookahead {
+            cycles: cycles.max(1),
+        }
+    }
+
+    /// The lookahead implied by a ring with the given per-hop latency:
+    /// the minimum distance between distinct agents is one hop, so no
+    /// cross-shard effect lands sooner than `hop_cycles` after its
+    /// cause.
+    pub fn from_ring_hop(hop_cycles: Cycle) -> Self {
+        Self::new(hop_cycles)
+    }
+
+    /// The window width in cycles.
+    pub fn cycles(&self) -> Cycle {
+        self.cycles
+    }
+
+    /// How many references a frontend shard may generate ahead of the
+    /// event loop: `windows_ahead` windows of slack, converted from
+    /// cycles to references via the workload's issue interval, clamped
+    /// to a range that keeps the handoff rings small but amortized.
+    ///
+    /// The frontend stream is a pure per-thread function, so running
+    /// ahead is always *safe*; the window bound keeps the pipeline's
+    /// buffering (and its memory) proportional to the machine's real
+    /// lookahead instead of unbounded.
+    pub fn ring_capacity(&self, issue_interval: u64, windows_ahead: u64) -> usize {
+        let refs = (self.cycles * windows_ahead) / issue_interval.max(1);
+        refs.clamp(64, 8192) as usize
+    }
+}
+
+/// Tiles the time axis into consecutive windows of one lookahead each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowPlan {
+    base: Cycle,
+    width: Cycle,
+}
+
+impl WindowPlan {
+    /// Windows of `lookahead` width starting at `base`: window `k`
+    /// covers `[base + k*width, base + (k+1)*width)`.
+    pub fn new(base: Cycle, lookahead: Lookahead) -> Self {
+        WindowPlan {
+            base,
+            width: lookahead.cycles(),
+        }
+    }
+
+    /// The window width in cycles.
+    pub fn width(&self) -> Cycle {
+        self.width
+    }
+
+    /// The window index containing `t` (cycles before `base` count as
+    /// window 0 — the plan starts at its base).
+    pub fn index_of(&self, t: Cycle) -> u64 {
+        t.saturating_sub(self.base) / self.width
+    }
+
+    /// The half-open cycle range `[lo, hi)` of window `k`.
+    pub fn bounds(&self, k: u64) -> (Cycle, Cycle) {
+        let lo = self.base + k * self.width;
+        (lo, lo + self.width)
+    }
+
+    /// First cycle strictly after `t`'s window — the earliest time an
+    /// effect produced at `t` by another shard may need to be visible.
+    pub fn next_boundary(&self, t: Cycle) -> Cycle {
+        self.bounds(self.index_of(t)).1
+    }
+}
+
+/// A deterministic deliver-at-time mailbox for cross-shard messages.
+///
+/// Messages are enqueued with an absolute delivery time and drained in
+/// `(delivery time, enqueue order)` order once due — so same-sender
+/// messages are never reordered, and nothing is ever dropped. The
+/// enqueue side enforces the conservative contract: a message's
+/// delivery time may never precede times already released to the
+/// receiver (checked in debug builds, like the event queue's
+/// no-past-scheduling rule).
+#[derive(Debug)]
+pub struct DelayedQueue<T> {
+    /// Pending messages in `(time, seq)` order. Kept sorted lazily: the
+    /// common case (monotone senders) appends at the back.
+    pending: VecDeque<(Cycle, u64, T)>,
+    seq: u64,
+    released: Cycle,
+}
+
+impl<T> DelayedQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        DelayedQueue {
+            pending: VecDeque::new(),
+            seq: 0,
+            released: 0,
+        }
+    }
+
+    /// Enqueues `msg` for delivery at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `at` precedes a time already drained
+    /// by [`DelayedQueue::pop_due`] — that message would cross a window
+    /// boundary backwards.
+    pub fn push(&mut self, at: Cycle, msg: T) {
+        debug_assert!(
+            at >= self.released,
+            "cross-shard message scheduled into the past: {} < {}",
+            at,
+            self.released
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        // Insert before the first strictly-later entry, scanning from
+        // the back: monotone senders append in O(1).
+        let mut i = self.pending.len();
+        while i > 0 {
+            let (t, s, _) = &self.pending[i - 1];
+            if (*t, *s) <= (at, seq) {
+                break;
+            }
+            i -= 1;
+        }
+        self.pending.insert(i, (at, seq, msg));
+    }
+
+    /// Removes and returns the oldest message due at or before `now`,
+    /// advancing the released watermark.
+    pub fn pop_due(&mut self, now: Cycle) -> Option<(Cycle, T)> {
+        match self.pending.front() {
+            Some(&(t, _, _)) if t <= now => {
+                let (t, _, msg) = self.pending.pop_front().expect("peeked");
+                self.released = self.released.max(t);
+                Some((t, msg))
+            }
+            _ => None,
+        }
+    }
+
+    /// Delivery time of the next pending message, due or not.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.pending.front().map(|&(t, _, _)| t)
+    }
+
+    /// Number of pending messages.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `true` when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+impl<T> Default for DelayedQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A deterministic partition of agents (or thread streams) into shards.
+///
+/// Shard membership is a pure function of the index, so every build of
+/// a run — serial, sharded, or differently sharded — agrees on who owns
+/// what, and merged statistics can be summed in a fixed order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    shards: usize,
+    items: usize,
+}
+
+impl ShardPlan {
+    /// Partitions `items` agents into `shards` shards (clamped to
+    /// `[1, items]`, so no shard is ever empty when `items > 0`).
+    pub fn new(items: usize, shards: usize) -> Self {
+        ShardPlan {
+            shards: shards.clamp(1, items.max(1)),
+            items,
+        }
+    }
+
+    /// Number of shards after clamping.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning item `i`: contiguous blocks, so items that are
+    /// physically adjacent (threads of one L2 slice) land in one shard.
+    pub fn shard_of(&self, i: usize) -> usize {
+        debug_assert!(i < self.items);
+        i * self.shards / self.items
+    }
+
+    /// The items shard `s` owns, in ascending order.
+    pub fn items_of(&self, s: usize) -> impl Iterator<Item = usize> + '_ {
+        (0..self.items).filter(move |&i| self.shard_of(i) == s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookahead_clamps_zero() {
+        assert_eq!(Lookahead::new(0).cycles(), 1);
+        assert_eq!(Lookahead::from_ring_hop(2).cycles(), 2);
+    }
+
+    #[test]
+    fn ring_capacity_scales_and_clamps() {
+        let la = Lookahead::new(2);
+        assert_eq!(la.ring_capacity(1, 1024), 2048);
+        assert_eq!(la.ring_capacity(4, 1024), 512);
+        assert_eq!(la.ring_capacity(1, 1), 64); // floor
+        assert_eq!(la.ring_capacity(1, 1 << 20), 8192); // ceiling
+    }
+
+    #[test]
+    fn window_indexing_and_bounds() {
+        let plan = WindowPlan::new(100, Lookahead::new(10));
+        assert_eq!(plan.index_of(100), 0);
+        assert_eq!(plan.index_of(109), 0);
+        assert_eq!(plan.index_of(110), 1);
+        assert_eq!(plan.bounds(2), (120, 130));
+        assert_eq!(plan.next_boundary(115), 120);
+        // Pre-base times collapse into window 0.
+        assert_eq!(plan.index_of(7), 0);
+    }
+
+    #[test]
+    fn delayed_queue_orders_by_time_then_fifo() {
+        let mut q = DelayedQueue::new();
+        q.push(5, "a");
+        q.push(3, "b");
+        q.push(5, "c");
+        assert_eq!(q.peek_time(), Some(3));
+        assert_eq!(q.pop_due(2), None);
+        assert_eq!(q.pop_due(5), Some((3, "b")));
+        assert_eq!(q.pop_due(5), Some((5, "a")));
+        assert_eq!(q.pop_due(5), Some((5, "c")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn delayed_queue_holds_future_messages() {
+        let mut q = DelayedQueue::new();
+        q.push(10, 1u32);
+        assert_eq!(q.pop_due(9), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_due(10), Some((10, 1)));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "into the past")]
+    fn delayed_queue_rejects_backwards_delivery() {
+        let mut q = DelayedQueue::new();
+        q.push(10, ());
+        q.pop_due(10);
+        q.push(5, ());
+    }
+
+    #[test]
+    fn shard_plan_partitions_contiguously_and_completely() {
+        let plan = ShardPlan::new(16, 4);
+        let owners: Vec<usize> = (0..16).map(|i| plan.shard_of(i)).collect();
+        assert_eq!(owners[..4], [0, 0, 0, 0]);
+        assert_eq!(owners[12..], [3, 3, 3, 3]);
+        // Every item owned exactly once; ownership is monotone.
+        for s in 0..4 {
+            assert_eq!(plan.items_of(s).count(), 4);
+        }
+        assert!(owners.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn shard_plan_clamps_excess_shards() {
+        let plan = ShardPlan::new(3, 8);
+        assert_eq!(plan.shards(), 3);
+        let plan = ShardPlan::new(0, 8);
+        assert_eq!(plan.shards(), 1);
+    }
+}

@@ -1,0 +1,308 @@
+//! A bounded lock-free single-producer/single-consumer ring buffer.
+//!
+//! This is the cross-shard handoff primitive of the sharded execution
+//! mode: one side of every shard boundary owns exactly one end of a
+//! ring, so the only synchronization on the hot path is one acquire
+//! load and one release store per transfer — no locks, no CAS loops.
+//!
+//! The buffer never drops and never reorders: values pop in exactly the
+//! order they were pushed (the differential shard-oracle tests rely on
+//! this to keep sharded runs byte-identical to serial ones).
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct Inner<T> {
+    /// Slot storage; slot `i & mask` is written by the producer and read
+    /// by the consumer, with the head/tail indices arbitrating access.
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    /// Next slot to pop (consumer-owned; producer reads with acquire).
+    head: AtomicUsize,
+    /// Next slot to push (producer-owned; consumer reads with acquire).
+    tail: AtomicUsize,
+    /// Set when either end is dropped, so the other end can stop.
+    closed: AtomicBool,
+}
+
+// Safety: slots are only touched by the unique producer (writes at
+// `tail`) and the unique consumer (reads before `tail`), and the
+// indices establish a happens-before edge (release on push, acquire on
+// pop) for the payload itself.
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+/// The producing end of a [`spsc`](self) ring. Not cloneable: exactly
+/// one producer exists per ring.
+#[derive(Debug)]
+pub struct Producer<T> {
+    inner: Arc<Inner<T>>,
+    /// Producer-local cache of `head`, refreshed only when the ring
+    /// looks full — keeps the common-case push to a single shared store.
+    head_cache: usize,
+}
+
+/// The consuming end of a [`spsc`](self) ring. Not cloneable: exactly
+/// one consumer exists per ring.
+#[derive(Debug)]
+pub struct Consumer<T> {
+    inner: Arc<Inner<T>>,
+    /// Consumer-local cache of `tail`, refreshed only when the ring
+    /// looks empty.
+    tail_cache: usize,
+}
+
+impl<T> std::fmt::Debug for Inner<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("spsc::Inner")
+            .field("capacity", &self.mask.wrapping_add(1))
+            .field("head", &self.head.load(Ordering::Relaxed))
+            .field("tail", &self.tail.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Creates a ring holding up to `capacity` values (rounded up to a
+/// power of two, minimum 2).
+pub fn ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let inner = Arc::new(Inner {
+        slots: (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect(),
+        mask: cap - 1,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+        closed: AtomicBool::new(false),
+    });
+    (
+        Producer {
+            inner: Arc::clone(&inner),
+            head_cache: 0,
+        },
+        Consumer {
+            inner,
+            tail_cache: 0,
+        },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Appends `value`, or returns it when the ring is full.
+    #[inline]
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        let tail = self.inner.tail.load(Ordering::Relaxed);
+        if tail.wrapping_sub(self.head_cache) > self.inner.mask {
+            self.head_cache = self.inner.head.load(Ordering::Acquire);
+            if tail.wrapping_sub(self.head_cache) > self.inner.mask {
+                return Err(value);
+            }
+        }
+        // Safety: the slot at `tail` is past every unconsumed value
+        // (checked above) and only this producer writes slots.
+        unsafe {
+            (*self.inner.slots[tail & self.inner.mask].get()).write(value);
+        }
+        self.inner
+            .tail
+            .store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Number of values currently buffered (an instantaneous snapshot).
+    pub fn len(&self) -> usize {
+        let tail = self.inner.tail.load(Ordering::Relaxed);
+        let head = self.inner.head.load(Ordering::Acquire);
+        tail.wrapping_sub(head)
+    }
+
+    /// `true` when no values are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Slot count of the ring.
+    pub fn capacity(&self) -> usize {
+        self.inner.mask + 1
+    }
+
+    /// `true` once the consumer has been dropped — further pushes would
+    /// never be observed.
+    pub fn is_closed(&self) -> bool {
+        self.inner.closed.load(Ordering::Relaxed)
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Removes and returns the oldest value, or `None` when empty.
+    #[inline]
+    pub fn pop(&mut self) -> Option<T> {
+        let head = self.inner.head.load(Ordering::Relaxed);
+        if head == self.tail_cache {
+            self.tail_cache = self.inner.tail.load(Ordering::Acquire);
+            if head == self.tail_cache {
+                return None;
+            }
+        }
+        // Safety: `head < tail`, so the slot holds an initialized value
+        // the producer released; only this consumer reads slots.
+        let value = unsafe { (*self.inner.slots[head & self.inner.mask].get()).assume_init_read() };
+        self.inner
+            .head
+            .store(head.wrapping_add(1), Ordering::Release);
+        Some(value)
+    }
+
+    /// Number of values currently buffered (an instantaneous snapshot).
+    pub fn len(&self) -> usize {
+        let tail = self.inner.tail.load(Ordering::Acquire);
+        let head = self.inner.head.load(Ordering::Relaxed);
+        tail.wrapping_sub(head)
+    }
+
+    /// `true` when no values are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Slot count of the ring.
+    pub fn capacity(&self) -> usize {
+        self.inner.mask + 1
+    }
+
+    /// `true` once the producer has been dropped — an empty ring will
+    /// stay empty forever.
+    pub fn is_closed(&self) -> bool {
+        self.inner.closed.load(Ordering::Relaxed)
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        self.inner.closed.store(true, Ordering::Relaxed);
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        self.inner.closed.store(true, Ordering::Relaxed);
+    }
+}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Drop any values still in flight. Both ends are gone, so the
+        // indices are quiescent.
+        let head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        for i in head..tail {
+            // Safety: slots in [head, tail) hold initialized values no
+            // one will read again.
+            unsafe {
+                (*self.slots[i & self.mask].get()).assume_init_drop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_fifo() {
+        let (mut tx, mut rx) = ring::<u32>(8);
+        for i in 0..5 {
+            tx.push(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn full_ring_rejects_and_returns_value() {
+        let (mut tx, mut rx) = ring::<u32>(4);
+        for i in 0..4 {
+            tx.push(i).unwrap();
+        }
+        assert_eq!(tx.push(99), Err(99));
+        assert_eq!(rx.pop(), Some(0));
+        tx.push(99).unwrap();
+        assert_eq!(tx.len(), 4);
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let (tx, _rx) = ring::<u8>(5);
+        assert_eq!(tx.capacity(), 8);
+        let (tx, _rx) = ring::<u8>(0);
+        assert_eq!(tx.capacity(), 2);
+    }
+
+    #[test]
+    fn close_is_visible_from_both_ends() {
+        let (tx, rx) = ring::<u8>(4);
+        assert!(!tx.is_closed());
+        drop(rx);
+        assert!(tx.is_closed());
+        let (tx, rx) = ring::<u8>(4);
+        assert!(!rx.is_closed());
+        drop(tx);
+        assert!(rx.is_closed());
+    }
+
+    #[test]
+    fn drops_in_flight_values() {
+        use std::sync::atomic::AtomicU32;
+        static DROPS: AtomicU32 = AtomicU32::new(0);
+        #[derive(Debug)]
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let (mut tx, rx) = ring::<D>(4);
+        tx.push(D).unwrap();
+        tx.push(D).unwrap();
+        drop(tx);
+        drop(rx);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn cross_thread_transfer_preserves_order() {
+        let (mut tx, mut rx) = ring::<u64>(64);
+        let n = 100_000u64;
+        let producer = std::thread::spawn(move || {
+            for i in 0..n {
+                let mut v = i;
+                loop {
+                    match tx.push(v) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            v = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+        });
+        let mut expect = 0u64;
+        while expect < n {
+            match rx.pop() {
+                Some(v) => {
+                    assert_eq!(v, expect);
+                    expect += 1;
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(rx.pop(), None);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property tests for the sharded-execution primitives: the SPSC
+//! handoff ring never drops or reorders, and the conservative-lookahead
+//! window math never lets an event cross a window boundary backwards.
+
+use cmpsim_engine::shard::{DelayedQueue, Lookahead, ShardPlan, WindowPlan};
+use cmpsim_engine::spsc;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The defining conservative-lookahead property: an effect produced
+    /// at `t` that takes at least one lookahead of latency lands in a
+    /// strictly later window — so a shard executing window `k` can
+    /// never receive a window-`k` message from a peer.
+    #[test]
+    fn delayed_effects_never_land_in_the_senders_window(
+        base in 0u64..1_000_000,
+        width in 1u64..10_000,
+        offset in 0u64..1_000_000,
+        extra in 0u64..1_000_000,
+    ) {
+        let la = Lookahead::new(width);
+        let plan = WindowPlan::new(base, la);
+        let send = base + offset;
+        let deliver = send + la.cycles() + extra;
+        prop_assert!(
+            plan.index_of(deliver) > plan.index_of(send),
+            "send t={send} (window {}) delivered t={deliver} (window {})",
+            plan.index_of(send),
+            plan.index_of(deliver)
+        );
+        // Window algebra is self-consistent: every cycle is inside the
+        // bounds of the window it indexes to, and the next boundary is
+        // strictly ahead.
+        let k = plan.index_of(send);
+        let (lo, hi) = plan.bounds(k);
+        prop_assert!(lo <= send && send < hi);
+        prop_assert_eq!(plan.next_boundary(send), hi);
+    }
+
+    /// The delayed-message queue delivers in (time, send order), drops
+    /// nothing, and never releases a message before its delivery time —
+    /// for any interleaving of sends and window drains.
+    #[test]
+    fn delayed_queue_is_exhaustive_ordered_and_punctual(
+        sends in proptest::collection::vec((0u64..500, any::<u32>()), 1..64),
+        drain_step in 1u64..200,
+    ) {
+        let mut q = DelayedQueue::new();
+        for (i, &(at, tag)) in sends.iter().enumerate() {
+            q.push(at, (i, tag));
+        }
+        let mut delivered: Vec<(u64, usize, u32)> = Vec::new();
+        let mut now = 0u64;
+        while !q.is_empty() {
+            while let Some((t, (i, tag))) = q.pop_due(now) {
+                prop_assert!(t <= now, "released t={t} before now={now}");
+                delivered.push((t, i, tag));
+            }
+            now += drain_step;
+        }
+        prop_assert_eq!(delivered.len(), sends.len(), "messages dropped");
+        // Expected order: stable sort by time (send order breaks ties).
+        let mut expect: Vec<(u64, usize, u32)> = sends
+            .iter()
+            .enumerate()
+            .map(|(i, &(at, tag))| (at, i, tag))
+            .collect();
+        expect.sort_by_key(|&(at, i, _)| (at, i));
+        prop_assert_eq!(delivered, expect);
+    }
+
+    /// Model-based check of the ring against a VecDeque: any
+    /// single-thread interleaving of pushes and pops agrees with the
+    /// reference model on every value, rejection, and length.
+    #[test]
+    fn spsc_agrees_with_deque_model(
+        capacity in 1usize..64,
+        ops in proptest::collection::vec((any::<bool>(), any::<u32>()), 1..256),
+    ) {
+        let (mut tx, mut rx) = spsc::ring::<u32>(capacity);
+        let cap = tx.capacity();
+        let mut model = std::collections::VecDeque::new();
+        for (is_push, v) in ops {
+            if is_push {
+                let pushed = tx.push(v);
+                if model.len() < cap {
+                    prop_assert_eq!(pushed, Ok(()));
+                    model.push_back(v);
+                } else {
+                    prop_assert_eq!(pushed, Err(v), "full ring must reject");
+                }
+            } else {
+                prop_assert_eq!(rx.pop(), model.pop_front());
+            }
+            prop_assert_eq!(tx.len(), model.len());
+            prop_assert_eq!(rx.len(), model.len());
+        }
+        // Drain: everything still buffered comes out in model order.
+        while let Some(expect) = model.pop_front() {
+            prop_assert_eq!(rx.pop(), Some(expect));
+        }
+        prop_assert_eq!(rx.pop(), None);
+    }
+
+    /// Cross-thread: for any capacity and count, a producer thread's
+    /// sequence arrives complete and in order — the ring neither drops
+    /// nor reorders same-sender events under real concurrency.
+    #[test]
+    fn spsc_preserves_same_sender_order_across_threads(
+        capacity in 1usize..32,
+        n in 1u64..2_000,
+    ) {
+        let (mut tx, mut rx) = spsc::ring::<u64>(capacity);
+        let producer = std::thread::spawn(move || {
+            for i in 0..n {
+                let mut v = i;
+                while let Err(back) = tx.push(v) {
+                    v = back;
+                    std::thread::yield_now();
+                }
+            }
+        });
+        let mut expect = 0u64;
+        while expect < n {
+            match rx.pop() {
+                Some(v) => {
+                    prop_assert_eq!(v, expect, "reordered or dropped");
+                    expect += 1;
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+        producer.join().unwrap();
+        prop_assert_eq!(rx.pop(), None, "phantom value");
+    }
+
+    /// Shard plans tile the items exactly once, contiguously, for any
+    /// (items, shards) request.
+    #[test]
+    fn shard_plan_is_a_partition(items in 1usize..512, shards in 0usize..64) {
+        let plan = ShardPlan::new(items, shards);
+        prop_assert!(plan.shards() >= 1 && plan.shards() <= items);
+        let owners: Vec<usize> = (0..items).map(|i| plan.shard_of(i)).collect();
+        // Monotone (contiguous blocks), covering all shards 0..shards.
+        prop_assert!(owners.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(owners[0], 0);
+        prop_assert_eq!(owners[items - 1], plan.shards() - 1);
+        let mut total = 0;
+        for s in 0..plan.shards() {
+            let count = plan.items_of(s).count();
+            prop_assert!(count > 0, "shard {s} empty");
+            total += count;
+        }
+        prop_assert_eq!(total, items);
+    }
+}

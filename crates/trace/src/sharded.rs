@@ -1,0 +1,298 @@
+//! Sharded (parallel-in-one-run) frontend: trace generation pipelined
+//! onto worker threads.
+//!
+//! Every [`SyntheticWorkload`] thread stream is a pure function of
+//! `(params, seed, thread)` — thread states never interact — so the
+//! reference streams can be generated *ahead of* the event loop by a
+//! pool of shard producer threads without changing a single record.
+//! [`ShardedWorkload`] partitions the thread streams into contiguous
+//! shards (matching the per-L2-slice agent partition: threads of one L2
+//! stay in one shard), gives each shard a producer thread, and hands
+//! records to the event loop through one lock-free SPSC ring per thread
+//! stream.
+//!
+//! The producers' run-ahead is bounded by the conservative lookahead
+//! window derived from the ring's minimum hop latency
+//! ([`cmpsim_engine::shard::Lookahead::ring_capacity`]): each handoff
+//! ring holds a fixed number of windows' worth of references, so the
+//! pipeline's buffering is proportional to the machine's real lookahead
+//! rather than unbounded.
+//!
+//! Byte-identity with the serial build holds by construction: the
+//! consumer pops records in exactly the order the event loop asks for
+//! them, and each per-thread stream is identical to what the serial
+//! build would have generated inline (`tests` below assert both; the
+//! system-level differential harness in `tests/shard_oracle.rs` asserts
+//! it end to end).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use cmpsim_engine::shard::{Lookahead, ShardPlan};
+use cmpsim_engine::spsc;
+
+use crate::{ReferenceSource, SyntheticWorkload, ThreadId, TraceRecord};
+
+/// How many lookahead windows of references each handoff ring buffers.
+/// Large enough to amortize the cross-thread handoff, small enough that
+/// 16 rings stay well inside the L2 of the host machine.
+const WINDOWS_AHEAD: u64 = 2048;
+
+/// Spin iterations before a starving consumer yields the CPU to the
+/// producers (essential on hosts with fewer cores than shards).
+const SPINS_BEFORE_YIELD: u32 = 64;
+
+/// A [`ReferenceSource`] that generates the synthetic streams on shard
+/// producer threads, ahead of the simulation.
+///
+/// # Example
+///
+/// ```
+/// use cmpsim_trace::{ShardedWorkload, SyntheticWorkload, Workload, CacheScale};
+/// use cmpsim_trace::{ReferenceSource, ThreadId};
+///
+/// let params = Workload::Trade2.params(16, CacheScale::scaled(8));
+/// let serial = SyntheticWorkload::new(params.clone(), 42)?;
+/// let mut sharded = ShardedWorkload::spawn(SyntheticWorkload::new(params, 42)?, 4);
+/// // Identical stream, produced on a worker thread:
+/// let mut inline = serial.clone();
+/// for _ in 0..100 {
+///     assert_eq!(
+///         sharded.next_record(ThreadId::new(3)),
+///         inline.next_record(ThreadId::new(3)),
+///     );
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ShardedWorkload {
+    name: String,
+    issue_interval: u64,
+    /// One handoff ring consumer per thread stream.
+    rings: Vec<spsc::Consumer<TraceRecord>>,
+    /// The producer thread generating each thread stream (for targeted
+    /// unparks when a ring drains).
+    producer_of: Vec<usize>,
+    producers: Vec<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    shards: usize,
+}
+
+impl ShardedWorkload {
+    /// Splits `workload` into `shards` producer threads (clamped to the
+    /// thread-stream count) with the default lookahead bound (one ring
+    /// hop, [`Lookahead::from_ring_hop`] of 2 — the modelled machine's
+    /// minimum).
+    pub fn spawn(workload: SyntheticWorkload, shards: usize) -> Self {
+        Self::spawn_with_lookahead(workload, shards, Lookahead::from_ring_hop(2))
+    }
+
+    /// Splits `workload` into `shards` producer threads whose run-ahead
+    /// is bounded by `lookahead` (converted to references via the
+    /// workload's issue interval).
+    pub fn spawn_with_lookahead(
+        workload: SyntheticWorkload,
+        shards: usize,
+        lookahead: Lookahead,
+    ) -> Self {
+        let params = workload.params();
+        let name = params.name.clone();
+        let issue_interval = params.issue_interval;
+        let num_threads = params.threads as usize;
+        let capacity = lookahead.ring_capacity(issue_interval, WINDOWS_AHEAD);
+        let plan = ShardPlan::new(num_threads, shards.max(1));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let mut rings = Vec::with_capacity(num_threads);
+        let mut producer_of = Vec::with_capacity(num_threads);
+        let mut senders: Vec<Vec<(ThreadId, spsc::Producer<TraceRecord>)>> =
+            (0..plan.shards()).map(|_| Vec::new()).collect();
+        for t in 0..num_threads {
+            let (tx, rx) = spsc::ring(capacity);
+            let shard = plan.shard_of(t);
+            producer_of.push(shard);
+            senders[shard].push((ThreadId::new(t as u16), tx));
+            rings.push(rx);
+        }
+
+        let producers = senders
+            .into_iter()
+            .map(|owned| {
+                let mut generator = workload.clone();
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || produce(&mut generator, owned, &stop))
+            })
+            .collect();
+
+        ShardedWorkload {
+            name,
+            issue_interval,
+            rings,
+            producer_of,
+            producers,
+            stop,
+            shards: plan.shards(),
+        }
+    }
+
+    /// Number of producer shards actually running (after clamping to
+    /// the thread-stream count).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+}
+
+/// A shard producer's loop: keep every owned ring topped up; park when
+/// all are full (the consumer unparks us when one drains).
+fn produce(
+    generator: &mut SyntheticWorkload,
+    mut owned: Vec<(ThreadId, spsc::Producer<TraceRecord>)>,
+    stop: &AtomicBool,
+) {
+    // One generated-but-unpushed record per owned stream, so a full
+    // ring never forces regeneration (which would desync the RNG).
+    let mut pending: Vec<Option<TraceRecord>> = vec![None; owned.len()];
+    while !stop.load(Ordering::Relaxed) {
+        let mut pushed = false;
+        for (i, (t, tx)) in owned.iter_mut().enumerate() {
+            if tx.is_closed() {
+                continue;
+            }
+            // Top this ring up completely before moving on: bulk refills
+            // amortize the shared-index traffic.
+            loop {
+                let rec = match pending[i].take() {
+                    Some(r) => r,
+                    None => generator.next_record(*t),
+                };
+                match tx.push(rec) {
+                    Ok(()) => pushed = true,
+                    Err(back) => {
+                        pending[i] = Some(back);
+                        break;
+                    }
+                }
+            }
+        }
+        if !pushed {
+            // Every ring is full (or closed): sleep until the consumer
+            // unparks us. The timeout bounds the race where the consumer
+            // unparks between our check and the park.
+            std::thread::park_timeout(std::time::Duration::from_millis(1));
+        }
+    }
+}
+
+impl ReferenceSource for ShardedWorkload {
+    fn next_record(&mut self, thread: ThreadId) -> TraceRecord {
+        let t = thread.index();
+        let mut spins = 0u32;
+        loop {
+            if let Some(rec) = self.rings[t].pop() {
+                return rec;
+            }
+            // Starving: the producer is behind (or parked on other full
+            // rings). Wake it, then spin briefly before yielding so we
+            // don't burn the producer's CPU on a shared core.
+            self.producers[self.producer_of[t]].thread().unpark();
+            spins += 1;
+            if spins >= SPINS_BEFORE_YIELD {
+                spins = 0;
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    fn issue_interval(&self) -> u64 {
+        self.issue_interval
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl Drop for ShardedWorkload {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Dropping the consumers marks every ring closed, so producers
+        // blocked on full rings see the stop quickly too.
+        self.rings.clear();
+        for h in self.producers.drain(..) {
+            h.thread().unpark();
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CacheScale, Workload};
+
+    fn workload(seed: u64) -> SyntheticWorkload {
+        let params = Workload::Cpw2.params(16, CacheScale::scaled(16));
+        SyntheticWorkload::new(params, seed).unwrap()
+    }
+
+    #[test]
+    fn sharded_streams_match_serial_exactly() {
+        for shards in [1, 2, 4, 8, 16] {
+            let mut serial = workload(7);
+            let mut sharded = ShardedWorkload::spawn(workload(7), shards);
+            assert_eq!(sharded.shards(), shards.min(16));
+            // Interleave threads the way the event loop does (unevenly).
+            for i in 0..4_000usize {
+                let t = ThreadId::new(((i * 7) % 16) as u16);
+                assert_eq!(
+                    ReferenceSource::next_record(&mut sharded, t),
+                    serial.next_record(t),
+                    "shards={shards} step={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn excess_shards_clamp_to_thread_count() {
+        let sharded = ShardedWorkload::spawn(workload(1), 64);
+        assert_eq!(sharded.shards(), 16);
+    }
+
+    #[test]
+    fn reports_name_and_interval() {
+        let w = workload(3);
+        let interval = w.params().issue_interval;
+        let sharded = ShardedWorkload::spawn(w, 2);
+        assert_eq!(sharded.name(), "CPW2");
+        assert_eq!(sharded.issue_interval(), interval);
+    }
+
+    #[test]
+    fn drop_joins_producers_quickly() {
+        // Even with producers parked on full rings (tiny consumption),
+        // drop must stop and join them rather than leak or hang.
+        let sharded = ShardedWorkload::spawn(workload(9), 4);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        drop(sharded); // must not hang
+    }
+
+    #[test]
+    fn deep_single_thread_drain_outruns_ring_capacity() {
+        // Pull far more than one ring capacity from a single stream so
+        // the consumer repeatedly catches up with the producer.
+        let mut serial = workload(11);
+        let mut sharded = ShardedWorkload::spawn(workload(11), 4);
+        let t = ThreadId::new(5);
+        for i in 0..50_000 {
+            assert_eq!(
+                ReferenceSource::next_record(&mut sharded, t),
+                serial.next_record(t),
+                "step {i}"
+            );
+        }
+    }
+}

@@ -82,6 +82,30 @@ for pol in baseline wbht snarf combined rdcb hybrid wbht+hybrid; do
     fi
 done
 
+echo "==> shard matrix smoke (cmpsim --shards 1,2,4 vs serial, 2 policies)"
+# The sharded frontend must be a pure wall-clock optimization: for a
+# representative pair of policies, every shard count must emit JSON
+# byte-identical to the plain serial run (which omits --shards).
+for pol in baseline combined; do
+    shard_ref=$(mktemp)
+    ./target/release/cmpsim --policy "$pol" --refs 2000 --seed 42 --json > "$shard_ref"
+    for shards in 1 2 4; do
+        if ! ./target/release/cmpsim --policy "$pol" --refs 2000 --seed 42 \
+            --shards "$shards" --json | diff -q - "$shard_ref" >/dev/null; then
+            rm -f "$shard_ref"
+            echo "verify: FAILED — cmpsim --shards $shards diverged from serial (--policy $pol)" >&2
+            exit 1
+        fi
+    done
+    rm -f "$shard_ref"
+done
+
+echo "==> single-run sharding throughput gate (scripts/bench.sh --shard-check)"
+# 20% no-regression floor on the serial and --shards 4 pinned entries in
+# BENCH_PR9.json, plus a 1.5x single-run speedup floor on >=8-core
+# hosts. CMPSIM_BENCH_NO_GATE=1 demotes to a warning.
+./scripts/bench.sh --shard-check
+
 echo "==> policy face-off harness gate (exp_policy_faceoff --check)"
 # Every contender must complete, the new policies must populate their
 # report sections, and the span attribution must record fills.

@@ -10,6 +10,7 @@
 //! ```text
 //! cmpsim [--workload tp|cpw2|notesbench|trade2] [--policy baseline|wbht|snarf|combined]
 //!        [--entries N] [--outstanding 1..6] [--refs N] [--scale N] [--seed N]
+//!        [--shards N] [--cores N]
 //!        [--trace FILE] [--granularity N] [--global-wbht] [--csv] [--json]
 //!        [--audit] [--metrics-out FILE]
 //!        [--trace-events FILE] [--interval-stats N]
@@ -41,6 +42,8 @@ struct Args {
     refs: u64,
     scale: u64,
     seed: u64,
+    shards: usize,
+    cores: Option<u8>,
     trace: Option<String>,
     granularity: u64,
     global_wbht: bool,
@@ -71,6 +74,8 @@ impl Default for Args {
             refs: 20_000,
             scale: 8,
             seed: 0x1BAD_B002,
+            shards: 1,
+            cores: None,
             trace: None,
             granularity: 1,
             global_wbht: false,
@@ -115,6 +120,8 @@ fn parse_args() -> Result<Args, String> {
             "--refs" | "-n" => args.refs = parse_num(&value("--refs")?)?,
             "--scale" => args.scale = parse_num(&value("--scale")?)?,
             "--seed" => args.seed = parse_num(&value("--seed")?)?,
+            "--shards" => args.shards = parse_num(&value("--shards")?)?.max(1) as usize,
+            "--cores" => args.cores = Some(parse_num(&value("--cores")?)? as u8),
             "--trace" => args.trace = Some(value("--trace")?),
             "--granularity" => args.granularity = parse_num(&value("--granularity")?)?,
             "--global-wbht" => args.global_wbht = true,
@@ -245,6 +252,11 @@ OPTIONS:
     -n, --refs N           references per thread [20000]
         --scale N          capacity divisor vs the paper system [8]
         --seed N           workload RNG seed
+        --shards N         generate the workload on N producer threads
+                           feeding the event loop through lock-free
+                           rings; output is byte-identical to serial [1]
+        --cores N          cores on the chip (multiple of 2; scales the
+                           L2 agent count on the ring with it) [8]
         --trace FILE       replay a CMPTRC01 trace instead of a synthetic workload
         --granularity N    lines per WBHT entry (power of two) [1]
         --global-wbht      allocate WBHT entries in all L2s (Figure 3 mode)
@@ -308,6 +320,17 @@ fn real_main() -> Result<(), String> {
     };
     cfg.max_outstanding = args.outstanding.clamp(1, 64);
     cfg.seed = args.seed;
+    if let Some(cores) = args.cores {
+        // The >8-core topology axis: more core pairs, more L2 agents on
+        // the ring, same per-L2 capacity at the chosen scale.
+        if cores < 2 || !cores.is_multiple_of(2) {
+            return Err(format!(
+                "--cores expects a positive multiple of 2 (one L2 per core pair), got {cores}"
+            ));
+        }
+        cfg.cores = cores;
+        cfg.num_l2 = cores / 2;
+    }
     let entries = if args.entries == 0 {
         (32 * 1024 / args.scale.max(1)).max(256)
     } else {
@@ -322,10 +345,27 @@ fn real_main() -> Result<(), String> {
 
     let mut sys = match &args.trace {
         Some(path) => {
+            if args.shards > 1 {
+                return Err("--shards applies to synthetic workloads, not --trace playback".into());
+            }
             let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
             let records = trace_file::read_trace(&data[..]).map_err(|e| format!("{path}: {e}"))?;
             let playback = TracePlayback::new(path.clone(), records, cfg.num_threads(), 1);
             System::with_source(cfg.clone(), Box::new(playback)).map_err(|e| e.to_string())?
+        }
+        None if args.shards > 1 => {
+            // Sharded frontend: generation moves to worker threads with
+            // ring-hop-bounded run-ahead; output stays byte-identical.
+            use cmp_hierarchies::engine::shard::Lookahead;
+            use cmp_hierarchies::trace::{ShardedWorkload, SyntheticWorkload};
+            let params = args.workload.params(cfg.num_threads(), cfg.cache_scale());
+            let generator = SyntheticWorkload::new(params, cfg.seed).map_err(|e| e.to_string())?;
+            let source = ShardedWorkload::spawn_with_lookahead(
+                generator,
+                args.shards,
+                Lookahead::from_ring_hop(cfg.ring.hop_cycles),
+            );
+            System::with_source(cfg.clone(), Box::new(source)).map_err(|e| e.to_string())?
         }
         None => {
             let params = args.workload.params(cfg.num_threads(), cfg.cache_scale());

@@ -1,0 +1,179 @@
+//! Differential conformance harness for sharded execution.
+//!
+//! The serial calendar-queue build is the oracle: for every randomized
+//! RunSpec (workload × pressure × policy × seed) and every shard count
+//! in {1, 2, 4, 8}, the sharded build must reproduce the serial run's
+//! metrics JSON, CSV, golden span stream (the Chrome-trace bytes the
+//! golden tests pin), and decision-audit section byte for byte. Any
+//! divergence — a reordered record, a dropped message, a window-boundary
+//! leak — shows up as a diff here before it can corrupt a result.
+
+use cmp_hierarchies::adaptive::{
+    run, HybridConfig, PolicyConfig, RdcbConfig, RunSpec, SnarfConfig, SystemConfig, WbhtConfig,
+};
+use cmp_hierarchies::engine::spans::{write_chrome_trace, SpanTracer};
+use cmp_hierarchies::engine::SplitMix64;
+use cmp_hierarchies::trace::Workload;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Draws one randomized spec. Everything stochastic comes from `rng`,
+/// which is itself seeded deterministically — failures reproduce by
+/// case index.
+fn random_spec(rng: &mut SplitMix64) -> RunSpec {
+    let workload = match rng.gen_range(4) {
+        0 => Workload::Tp,
+        1 => Workload::Cpw2,
+        2 => Workload::NotesBench,
+        _ => Workload::Trade2,
+    };
+    let entries = 256 << rng.gen_range(3); // 256 / 512 / 1024
+    let policy = match rng.gen_range(6) {
+        0 => PolicyConfig::baseline(),
+        1 => PolicyConfig::wbht(WbhtConfig {
+            entries,
+            assoc: 16,
+            ..Default::default()
+        }),
+        2 => PolicyConfig::snarf(SnarfConfig {
+            entries,
+            ..Default::default()
+        }),
+        3 => PolicyConfig::combined(
+            WbhtConfig {
+                entries: (entries / 2).max(256),
+                assoc: 16,
+                ..Default::default()
+            },
+            SnarfConfig {
+                entries: (entries / 2).max(256),
+                ..Default::default()
+            },
+        ),
+        4 => PolicyConfig::rdcb(RdcbConfig {
+            entries,
+            ..Default::default()
+        }),
+        _ => PolicyConfig::hybrid(HybridConfig {
+            entries,
+            ..Default::default()
+        }),
+    };
+    let mut cfg = SystemConfig::scaled(16);
+    cfg.policy = policy;
+    cfg.max_outstanding = 1 + rng.gen_range(6) as u32; // pressure 1..=6
+    cfg.seed = rng.next_u64();
+    cfg.retry_jitter_seed = rng.next_u64();
+    RunSpec::for_workload(cfg, workload, 700 + rng.gen_range(800))
+}
+
+/// Chrome-trace bytes for a report's spans — the representation the
+/// golden span tests pin, so byte-equality here is golden-equality.
+fn chrome_bytes(spans: &[cmp_hierarchies::engine::spans::SpanRecord]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_chrome_trace(spans, &mut buf).expect("in-memory write");
+    buf
+}
+
+#[test]
+fn randomized_specs_are_byte_identical_at_every_shard_count() {
+    let mut rng = SplitMix64::new(0x0DDE_50AE_5EED_0009);
+    for case in 0..6 {
+        let base = random_spec(&mut rng);
+        let serial = run(base.clone()).expect("serial oracle");
+        let oracle_json = serial.to_json();
+        let oracle_csv = serial.to_csv();
+        for shards in SHARD_COUNTS {
+            let mut spec = base.clone();
+            spec.shards = shards;
+            let sharded = run(spec).expect("sharded run");
+            assert_eq!(
+                oracle_json,
+                sharded.to_json(),
+                "case {case} ({} / {} / pressure {}): JSON diverged at shards={shards}",
+                base.workload.name,
+                base.config.policy.label(),
+                base.config.max_outstanding,
+            );
+            assert_eq!(
+                oracle_csv,
+                sharded.to_csv(),
+                "case {case}: CSV diverged at shards={shards}"
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_spans_and_audit_are_byte_identical_when_sharded() {
+    // Spans and the decision audit observe transaction interiors — the
+    // most order-sensitive outputs the simulator has. One policy-rich
+    // spec, fully observed, across the whole shard matrix.
+    let mut cfg = SystemConfig::scaled(16);
+    cfg.policy = PolicyConfig::combined(
+        WbhtConfig {
+            entries: 512,
+            assoc: 16,
+            ..Default::default()
+        },
+        SnarfConfig {
+            entries: 512,
+            ..Default::default()
+        },
+    );
+    cfg.max_outstanding = 6;
+    cfg.seed = 0xBEEF;
+    let mut base = RunSpec::for_workload(cfg, Workload::Trade2, 1_200);
+    base.audit = true;
+
+    let mut oracle: Option<(Vec<u8>, String)> = None;
+    for shards in SHARD_COUNTS {
+        let mut spec = base.clone();
+        spec.span_tracer = SpanTracer::sampled(1);
+        spec.shards = shards;
+        let report = run(spec).expect("audited sharded run");
+        let bytes = chrome_bytes(&report.spans);
+        let json = report.to_json();
+        assert!(
+            json.contains("\"audit_abort_precision\":"),
+            "audit section missing at shards={shards}"
+        );
+        match &oracle {
+            None => oracle = Some((bytes, json)),
+            Some((golden_bytes, golden_json)) => {
+                assert_eq!(
+                    golden_bytes, &bytes,
+                    "golden span trace diverged at shards={shards}"
+                );
+                assert_eq!(
+                    golden_json, &json,
+                    "audited JSON diverged at shards={shards}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharding_composes_with_scaled_out_topology() {
+    // 16 cores → 32 threads, 8 L2 ring agents: the topology axis the
+    // sharded frontend exists to serve must itself pass the oracle.
+    let mut cfg = SystemConfig::with_cores(16);
+    cfg.l2_slice_bytes = 32 * 1024;
+    cfg.l3 = cmp_hierarchies::mem::L3Config::scaled(16);
+    if let Some(l1) = &mut cfg.l1 {
+        l1.size_bytes = 4 * 1024;
+    }
+    let base = RunSpec::for_workload(cfg, Workload::Tp, 400);
+    let serial = run(base.clone()).expect("serial oracle");
+    for shards in SHARD_COUNTS {
+        let mut spec = base.clone();
+        spec.shards = shards;
+        let sharded = run(spec).expect("sharded run");
+        assert_eq!(
+            serial.to_json(),
+            sharded.to_json(),
+            "32-thread topology diverged at shards={shards}"
+        );
+    }
+}
