@@ -7,17 +7,28 @@
 //!
 //! * `quick_trade2_combined` / `quick_cpw2_baseline` — single
 //!   quick-profile runs (scale 8, 30 k refs/thread).
-//! * `full_trade2_snarf` — one paper-scale run (scale 1, 100 k
-//!   refs/thread), the Figure 5 snarf point.
+//! * `full_trade2_snarf` / `full_cpw2_wbht` — paper-scale runs (scale
+//!   1, 100 k refs/thread): the Figure 5 snarf point and a WBHT point.
+//!   These are the entries whose recorded pre→post ratio must
+//!   demonstrate the packed tag-array win (>= 1.10x).
 //! * `smoke_grid` — 2 workloads x 4 policies at the smoke profile,
-//!   aggregated; the entry the `BENCH_PR5.json` regression gate watches.
+//!   aggregated; watched by the `BENCH_PR10.json` regression gate.
 //!
 //! ```text
 //! bench_throughput --emit [BASE.json]   measure; print JSON (carrying
 //!                                       pre_cycles_per_sec over from BASE)
 //! bench_throughput --check FILE.json    measure; fail (exit 1) when any
 //!                                       entry regresses >20% in
-//!                                       cycles/sec vs FILE's post numbers
+//!                                       cycles/sec vs FILE's post numbers,
+//!                                       or when a full-scale entry's
+//!                                       recorded pre→post speedup sits
+//!                                       below 1.10x. Entries whose
+//!                                       recorded pre_cycles_per_sec is 0
+//!                                       (unmeasured baseline, e.g.
+//!                                       parity-only shard entries on
+//!                                       1-core hosts) skip the speedup
+//!                                       floor with a note instead of
+//!                                       dividing by zero
 //! bench_throughput --overhead-check     measure profiler-on vs -off on a
 //!                                       pinned case; fail (exit 1) when
 //!                                       the default observability stack
@@ -157,34 +168,44 @@ fn measure(id: &'static str, cases: &[Case]) -> Measurement {
 }
 
 fn suite() -> Vec<Measurement> {
-    let mut out = Vec::new();
-    out.push(measure(
-        "quick_trade2_combined",
-        &[Case {
-            workload: Workload::Trade2,
-            policy: "combined",
-            refs: 30_000,
-            scale: 8,
-        }],
-    ));
-    out.push(measure(
-        "quick_cpw2_baseline",
-        &[Case {
-            workload: Workload::Cpw2,
-            policy: "baseline",
-            refs: 30_000,
-            scale: 8,
-        }],
-    ));
-    out.push(measure(
-        "full_trade2_snarf",
-        &[Case {
-            workload: Workload::Trade2,
-            policy: "snarf",
-            refs: 100_000,
-            scale: 1,
-        }],
-    ));
+    let mut out = vec![
+        measure(
+            "quick_trade2_combined",
+            &[Case {
+                workload: Workload::Trade2,
+                policy: "combined",
+                refs: 30_000,
+                scale: 8,
+            }],
+        ),
+        measure(
+            "quick_cpw2_baseline",
+            &[Case {
+                workload: Workload::Cpw2,
+                policy: "baseline",
+                refs: 30_000,
+                scale: 8,
+            }],
+        ),
+        measure(
+            "full_trade2_snarf",
+            &[Case {
+                workload: Workload::Trade2,
+                policy: "snarf",
+                refs: 100_000,
+                scale: 1,
+            }],
+        ),
+        measure(
+            "full_cpw2_wbht",
+            &[Case {
+                workload: Workload::Cpw2,
+                policy: "wbht",
+                refs: 100_000,
+                scale: 1,
+            }],
+        ),
+    ];
     let mut grid = Vec::new();
     for workload in [Workload::Trade2, Workload::Cpw2] {
         for policy in ["baseline", "wbht", "snarf", "combined"] {
@@ -355,8 +376,13 @@ fn emit(results: &[Measurement], base: Option<&str>, host_cores: Option<u64>) {
     println!("}}");
 }
 
+/// Entries whose committed pre→post ratio must demonstrate the packed
+/// tag-array win; other entries (quick, smoke, shard) only report it.
+const SPEEDUP_FLOOR_IDS: [&str; 2] = ["full_trade2_snarf", "full_cpw2_wbht"];
+
 fn check(results: &[Measurement], path: &str) -> bool {
     let committed = read_field(path, "post_cycles_per_sec");
+    let baseline = read_field(path, "pre_cycles_per_sec");
     if committed.is_empty() {
         eprintln!("bench: no post_cycles_per_sec entries found in {path}");
         return false;
@@ -377,6 +403,38 @@ fn check(results: &[Measurement], path: &str) -> bool {
         );
         if got < floor {
             ok = false;
+        }
+        // The recorded pre→post speedup, taken from the committed file
+        // (both sides measured on the same host, same pinned cases). A
+        // recorded pre of 0 means the baseline was never measured there
+        // — e.g. parity-only shard entries written on a 1-core host —
+        // so the ratio is undefined: skip it with a note rather than
+        // divide by zero or fail spuriously.
+        match baseline.iter().find(|(id, _)| id == m.id) {
+            Some(&(_, 0)) => eprintln!(
+                "bench: {:<24} recorded pre_cycles_per_sec is 0 (unmeasured \
+                 baseline); speedup floor skipped",
+                m.id
+            ),
+            Some(&(_, pre)) => {
+                let speedup = want as f64 / pre as f64;
+                if SPEEDUP_FLOOR_IDS.contains(&m.id) {
+                    let pass = speedup >= 1.10;
+                    let verdict = if pass { "ok" } else { "TOO SLOW" };
+                    eprintln!(
+                        "bench: {:<24} recorded speedup {speedup:.2}x \
+                         (pre {pre}, floor 1.10) {verdict}",
+                        m.id
+                    );
+                    ok &= pass;
+                } else {
+                    eprintln!(
+                        "bench: {:<24} recorded speedup {speedup:.2}x (informational)",
+                        m.id
+                    );
+                }
+            }
+            None => {}
         }
     }
     ok
@@ -553,7 +611,7 @@ fn main() {
             }
         }
         Some("--check") => {
-            let path = args.get(1).map(String::as_str).unwrap_or("BENCH_PR5.json");
+            let path = args.get(1).map(String::as_str).unwrap_or("BENCH_PR10.json");
             let results = suite();
             if !check(&results, path) {
                 if std::env::var_os("CMPSIM_BENCH_NO_GATE").is_some() {

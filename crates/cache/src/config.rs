@@ -19,6 +19,17 @@ pub enum GeometryError {
         /// Requested associativity.
         assoc: u64,
     },
+    /// The packed tag word cannot hold this geometry's tag bits: with
+    /// `state_bits` of state, only `63 - state_bits` tag bits remain,
+    /// but a `num_sets`-set geometry needs
+    /// `PACKED_LINE_ADDR_BITS - log2(num_sets)` of them (see
+    /// [`packed_fits`](crate::packed_fits)).
+    PackedTagOverflow {
+        /// State bits the line payload type declares.
+        state_bits: u32,
+        /// Number of sets (fewer sets leave more tag bits to store).
+        num_sets: u64,
+    },
 }
 
 impl fmt::Display for GeometryError {
@@ -30,6 +41,19 @@ impl fmt::Display for GeometryError {
             GeometryError::Zero(what) => write!(f, "{what} must be nonzero"),
             GeometryError::Indivisible { lines, assoc } => {
                 write!(f, "{lines} lines not divisible into {assoc}-way sets")
+            }
+            GeometryError::PackedTagOverflow {
+                state_bits,
+                num_sets,
+            } => {
+                write!(
+                    f,
+                    "packed tag word overflow: {state_bits} state bits leave too few \
+                     tag bits for a {num_sets}-set geometry (need \
+                     {} - log2({num_sets}), have {})",
+                    crate::PACKED_LINE_ADDR_BITS,
+                    63u32.saturating_sub(*state_bits)
+                )
             }
         }
     }

@@ -6,7 +6,12 @@
 //! stores tags plus a *use bit*. [`HistoryTable`] provides both, generic
 //! over a small payload.
 
-use crate::{CacheGeometry, GeometryError, InsertPosition, LineAddr, ReplacementPolicy, TagArray};
+use std::marker::PhantomData;
+
+use crate::{
+    CacheGeometry, GenericTagArray, GeometryError, InsertPosition, LineAddr, ReplacementPolicy,
+    TagArray, TagStorage,
+};
 
 /// Statistics of a [`HistoryTable`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -45,12 +50,19 @@ pub struct HistoryStats {
 /// # Ok::<(), cmpsim_cache::GeometryError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct HistoryTable<P: Copy + Default> {
-    tags: TagArray<P>,
+pub struct HistoryTable<P: Copy + Default, A: TagStorage<P> = TagArray<P>> {
+    tags: A,
     stats: HistoryStats,
+    _payload: PhantomData<P>,
 }
 
-impl<P: Copy + Default> HistoryTable<P> {
+/// A [`HistoryTable`] on the generic (unpacked) backend, for payloads
+/// too wide to fit the packed tag word's spare bits — e.g. the
+/// reuse-distance predictor's two-`u64` entry. Tag-width rules never
+/// apply here; everything else (LRU aging, stats, API) is identical.
+pub type WideHistoryTable<P> = HistoryTable<P, GenericTagArray<P>>;
+
+impl<P: Copy + Default, A: TagStorage<P>> HistoryTable<P, A> {
     /// Creates a table with `entries` total entries and `assoc` ways,
     /// with LRU replacement (as specified in the paper).
     ///
@@ -63,8 +75,9 @@ impl<P: Copy + Default> HistoryTable<P> {
         // entry so `entries` is the capacity.
         let geom = CacheGeometry::from_entries(entries, assoc, 1)?;
         Ok(HistoryTable {
-            tags: TagArray::new(geom, ReplacementPolicy::Lru),
+            tags: A::try_new(geom, ReplacementPolicy::Lru)?,
             stats: HistoryStats::default(),
+            _payload: PhantomData,
         })
     }
 
@@ -84,7 +97,7 @@ impl<P: Copy + Default> HistoryTable<P> {
     }
 
     /// Checks for a line *without* updating recency or stats (pure peek).
-    pub fn peek(&self, line: LineAddr) -> Option<&P> {
+    pub fn peek(&self, line: LineAddr) -> Option<P> {
         self.tags.probe(line).map(|(_, p)| p)
     }
 
@@ -93,7 +106,6 @@ impl<P: Copy + Default> HistoryTable<P> {
     pub fn lookup(&mut self, line: LineAddr) -> Option<P> {
         match self.tags.probe(line) {
             Some((_, p)) => {
-                let p = *p;
                 self.tags.touch(line);
                 self.stats.hits += 1;
                 Some(p)
@@ -113,8 +125,7 @@ impl<P: Copy + Default> HistoryTable<P> {
     /// Records a line with the given payload: allocates a fresh entry (or
     /// refreshes an existing one), promoting it to MRU.
     pub fn record(&mut self, line: LineAddr, payload: P) {
-        if let Some((_, p)) = self.tags.probe_mut(line) {
-            *p = payload;
+        if self.tags.update_state(line, |p| *p = payload) {
             self.tags.touch(line);
             return;
         }
@@ -131,13 +142,7 @@ impl<P: Copy + Default> HistoryTable<P> {
     /// Updates the payload of an existing entry in place (no recency
     /// update). Returns `false` when the line is absent.
     pub fn update(&mut self, line: LineAddr, f: impl FnOnce(&mut P)) -> bool {
-        match self.tags.probe_mut(line) {
-            Some((_, p)) => {
-                f(p);
-                true
-            }
-            None => false,
-        }
+        self.tags.update_state(line, f)
     }
 
     /// Removes a line's entry, returning its payload.
@@ -260,6 +265,23 @@ mod tests {
         // 32K entries, 16-way — the paper's WBHT.
         let t: HistoryTable<()> = HistoryTable::new(32 * 1024, 16).unwrap();
         assert_eq!(t.capacity(), 32 * 1024);
+    }
+
+    #[test]
+    fn wide_table_holds_unpackable_payloads() {
+        // Two u64s can never fit the packed word; the wide alias stores
+        // them on the generic backend with identical table semantics.
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        struct Wide {
+            a: u64,
+            b: u64,
+        }
+        let mut t: crate::WideHistoryTable<Wide> = HistoryTable::new(16, 4).unwrap();
+        let l = LineAddr::new(7);
+        t.record(l, Wide { a: 1, b: 2 });
+        assert_eq!(t.lookup(l), Some(Wide { a: 1, b: 2 }));
+        assert!(t.update(l, |w| w.b = 9));
+        assert_eq!(t.peek(l), Some(Wide { a: 1, b: 9 }));
     }
 
     #[test]

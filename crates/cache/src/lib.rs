@@ -26,7 +26,7 @@
 //! let line = LineAddr::new(0x40);
 //! assert!(tags.probe(line).is_none());
 //! tags.insert(line, 1, InsertPosition::Mru);
-//! assert_eq!(tags.probe(line).map(|(_, s)| *s), Some(1));
+//! assert_eq!(tags.probe(line).map(|(_, s)| s), Some(1));
 //! ```
 
 #![warn(missing_docs)]
@@ -42,8 +42,11 @@ mod wb_queue;
 
 pub use addr::{Addr, LineAddr};
 pub use config::{CacheGeometry, GeometryError, SlicedGeometry};
-pub use history::{HistoryStats, HistoryTable};
+pub use history::{HistoryStats, HistoryTable, WideHistoryTable};
 pub use mshr::{MshrError, MshrFile, MshrId};
 pub use replacement::ReplacementPolicy;
-pub use tag_array::{Evicted, InsertPosition, TagArray, WayIdx};
+pub use tag_array::{
+    packed_fits, Evicted, GenericTagArray, InsertPosition, PackedLine, PackedState, PackedTagArray,
+    TagArray, TagStorage, WayIdx, PACKED_LINE_ADDR_BITS,
+};
 pub use wb_queue::{WbEntry, WriteBackQueue};

@@ -1,0 +1,454 @@
+//! Set-associative tag arrays generic over a per-line state payload.
+//!
+//! Two backends share one API surface:
+//!
+//! * [`PackedTagArray`] — the default: per-line state packed into one
+//!   `u64` word (`valid | state | tag`, see [`PackedLine`]) stored
+//!   struct-of-arrays, so a way scan is a handful of sequential u64
+//!   loads and the common probe compiles to a masked-compare loop.
+//! * [`GenericTagArray`] — the pre-packing `Vec` of struct-of-enums
+//!   lines, kept as a differential oracle (and as storage for payloads
+//!   too wide to pack, via [`WideHistoryTable`]).
+//!
+//! [`TagArray`] aliases the packed backend by default; building with
+//! `--features legacy-tags` re-points the alias at the generic backend
+//! so a whole simulator build can be diffed byte-for-byte against the
+//! packed one (the same oracle pattern as the engine's `legacy-heap`).
+//!
+//! [`WideHistoryTable`]: crate::WideHistoryTable
+
+mod generic;
+mod packed;
+
+use crate::{CacheGeometry, GeometryError, LineAddr, ReplacementPolicy};
+
+pub use generic::GenericTagArray;
+pub use packed::{packed_fits, PackedLine, PackedTagArray, PACKED_LINE_ADDR_BITS};
+
+/// The default tag-array backend: packed words.
+#[cfg(not(feature = "legacy-tags"))]
+pub use packed::PackedTagArray as TagArray;
+
+/// The differential-oracle backend selected by `--features legacy-tags`.
+#[cfg(feature = "legacy-tags")]
+pub use generic::GenericTagArray as TagArray;
+
+/// Index of a way within a set.
+pub type WayIdx = usize;
+
+/// Where a newly inserted line lands in the recency stack.
+///
+/// Demand fills insert at [`Mru`](InsertPosition::Mru); the snarf
+/// mechanism's insertion position is a tunable (§3 of the paper discusses
+/// managing recipient LRU state to keep snarfed lines resident until
+/// reuse).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum InsertPosition {
+    /// Most recently used — maximum residency.
+    #[default]
+    Mru,
+    /// Halfway down the recency stack.
+    Mid,
+    /// Least recently used — first out.
+    Lru,
+}
+
+/// A line evicted by [`TagArray::insert`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted<S> {
+    /// The victim's line address.
+    pub line: LineAddr,
+    /// The victim's state payload at eviction time.
+    pub state: S,
+}
+
+/// A per-line state payload that fits the packed tag word.
+///
+/// The packed backend stores each line as one `u64` of
+/// `valid | state | tag`; a state type declares how many of those bits
+/// it needs ([`BITS`](Self::BITS)) and how to round-trip through them.
+/// Implementors must satisfy `from_bits(to_bits(s)) == s` and keep
+/// `to_bits` within `BITS` bits; the array debug-asserts both.
+///
+/// Implemented by the coherence enums (`L2State`: 3 bits, `L3State`:
+/// 1 bit — in `cmpsim-coherence`), the snarf use-bit (`bool`), `()` for
+/// tag-only tables (WBHT, L1 filters), and small unsigned integers for
+/// tests. Payloads wider than the word can spare (e.g. the
+/// reuse-distance predictor's two-counter entry) use the generic
+/// backend instead via [`WideHistoryTable`](crate::WideHistoryTable).
+pub trait PackedState: Copy + Default {
+    /// State bits consumed in the packed word (0 for tag-only payloads).
+    const BITS: u32;
+
+    /// Encodes the state into its low [`BITS`](Self::BITS) bits.
+    fn to_bits(self) -> u64;
+
+    /// Decodes a value previously produced by [`to_bits`](Self::to_bits).
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl PackedState for () {
+    const BITS: u32 = 0;
+
+    #[inline]
+    fn to_bits(self) -> u64 {
+        0
+    }
+
+    #[inline]
+    fn from_bits(_bits: u64) -> Self {}
+}
+
+impl PackedState for bool {
+    const BITS: u32 = 1;
+
+    #[inline]
+    fn to_bits(self) -> u64 {
+        self as u64
+    }
+
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        bits != 0
+    }
+}
+
+impl PackedState for u8 {
+    const BITS: u32 = 8;
+
+    #[inline]
+    fn to_bits(self) -> u64 {
+        self as u64
+    }
+
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        bits as u8
+    }
+}
+
+impl PackedState for u16 {
+    const BITS: u32 = 16;
+
+    #[inline]
+    fn to_bits(self) -> u64 {
+        self as u64
+    }
+
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        bits as u16
+    }
+}
+
+/// The backend-independent tag-storage surface.
+///
+/// [`HistoryTable`](crate::HistoryTable) is generic over this trait so
+/// the same table logic runs on packed words (WBHT tags, snarf use
+/// bits) and on generic struct-of-enums lines (payloads too wide to
+/// pack). Both [`PackedTagArray`] and [`GenericTagArray`] implement it
+/// by forwarding to their inherent methods.
+pub trait TagStorage<S>: std::fmt::Debug + Clone + Sized {
+    /// Creates empty storage, validating backend-specific limits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] when the geometry violates a backend
+    /// constraint (e.g. the packed word cannot fit the tag bits).
+    fn try_new(geom: CacheGeometry, policy: ReplacementPolicy) -> Result<Self, GeometryError>;
+
+    /// The geometry this storage was built with.
+    fn geometry(&self) -> CacheGeometry;
+
+    /// Number of valid lines currently resident.
+    fn valid_lines(&self) -> u64;
+
+    /// Looks up a line without updating recency.
+    fn probe(&self, line: LineAddr) -> Option<(WayIdx, S)>;
+
+    /// Marks a line as just-used (hit path). Returns `false` if absent.
+    fn touch(&mut self, line: LineAddr) -> bool;
+
+    /// Rewrites a resident line's state in place (no recency update).
+    /// Returns `false` when the line is absent.
+    fn update_state(&mut self, line: LineAddr, f: impl FnOnce(&mut S)) -> bool;
+
+    /// Inserts a line, evicting a victim when the set is full.
+    fn insert(&mut self, line: LineAddr, state: S, pos: InsertPosition) -> Option<Evicted<S>>;
+
+    /// Removes a line, returning its state if it was present.
+    fn invalidate(&mut self, line: LineAddr) -> Option<S>;
+}
+
+/// Sentinel for "no memoized way" (associativities are far below this).
+pub(crate) const NO_HINT: u32 = u32::MAX;
+
+/// Tree-PLRU bit manipulation shared by both backends.
+///
+/// One `u64` of internal-node "victim points right" bits per set, root
+/// at bit 0, children of node `n` at `2n+1` / `2n+2`.
+pub(crate) mod plru {
+    /// Re-points the victim path away from `way` after a touch.
+    pub(crate) fn touch(bits: &mut u64, assoc: usize, way: usize) {
+        let mut node = 0usize;
+        let mut lo = 0usize;
+        let mut hi = assoc;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if way < mid {
+                // went left: point victim bit right (1)
+                *bits |= 1 << node;
+                node = 2 * node + 1;
+                hi = mid;
+            } else {
+                *bits &= !(1 << node);
+                node = 2 * node + 2;
+                lo = mid;
+            }
+        }
+    }
+
+    /// Follows the victim path to a way index.
+    pub(crate) fn victim(bits: u64, assoc: usize) -> usize {
+        let mut node = 0usize;
+        let mut lo = 0usize;
+        let mut hi = assoc;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if bits & (1 << node) != 0 {
+                // victim bit points right
+                node = 2 * node + 2;
+                lo = mid;
+            } else {
+                node = 2 * node + 1;
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmpsim_engine::SplitMix64;
+
+    fn small() -> TagArray<u8> {
+        // 4 sets x 2 ways, 128 B lines.
+        TagArray::new(
+            CacheGeometry::new(1024, 2, 128).unwrap(),
+            ReplacementPolicy::Lru,
+        )
+    }
+
+    #[test]
+    fn probe_miss_then_hit() {
+        let mut t = small();
+        let l = LineAddr::new(12);
+        assert!(t.probe(l).is_none());
+        t.insert(l, 7, InsertPosition::Mru);
+        assert_eq!(t.probe(l), Some((t.probe(l).unwrap().0, 7)));
+        assert_eq!(t.valid_lines(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut t = small();
+        // Set 0 holds lines 0, 4, 8, ...
+        t.insert(LineAddr::new(0), 1, InsertPosition::Mru);
+        t.insert(LineAddr::new(4), 2, InsertPosition::Mru);
+        t.touch(LineAddr::new(0)); // 4 is now LRU
+        let ev = t.insert(LineAddr::new(8), 3, InsertPosition::Mru).unwrap();
+        assert_eq!(ev.line, LineAddr::new(4));
+        assert_eq!(ev.state, 2);
+        assert!(t.probe(LineAddr::new(0)).is_some());
+    }
+
+    #[test]
+    fn lru_insert_position_lru_is_first_victim() {
+        let mut t = small();
+        t.insert(LineAddr::new(0), 1, InsertPosition::Mru);
+        t.insert(LineAddr::new(4), 2, InsertPosition::Lru); // parked at LRU
+        let ev = t.insert(LineAddr::new(8), 3, InsertPosition::Mru).unwrap();
+        assert_eq!(ev.line, LineAddr::new(4));
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut t = small();
+        t.insert(LineAddr::new(0), 9, InsertPosition::Mru);
+        assert_eq!(t.invalidate(LineAddr::new(0)), Some(9));
+        assert_eq!(t.invalidate(LineAddr::new(0)), None);
+        assert_eq!(t.valid_lines(), 0);
+    }
+
+    #[test]
+    fn update_state_rewrites_in_place() {
+        let mut t = small();
+        t.insert(LineAddr::new(0), 1, InsertPosition::Mru);
+        assert!(t.update_state(LineAddr::new(0), |s| *s = 42));
+        assert_eq!(t.probe(LineAddr::new(0)).unwrap().1, 42);
+        assert!(!t.update_state(LineAddr::new(4), |s| *s = 9));
+    }
+
+    #[test]
+    fn victim_way_by_prefers_lru_matching() {
+        let mut t = small();
+        t.insert(LineAddr::new(0), 10, InsertPosition::Mru);
+        t.insert(LineAddr::new(4), 20, InsertPosition::Mru);
+        // Only states >= 15 qualify.
+        let w = t.victim_way_by(LineAddr::new(8), |&s| s >= 15).unwrap();
+        assert_eq!(t.line_at(w).unwrap().0, LineAddr::new(4));
+        assert!(t.victim_way_by(LineAddr::new(8), |&s| s > 99).is_none());
+    }
+
+    #[test]
+    fn insert_into_specific_way() {
+        let mut t = small();
+        t.insert(LineAddr::new(0), 1, InsertPosition::Mru);
+        let w = t.probe(LineAddr::new(0)).unwrap().0;
+        let ev = t
+            .insert_into(LineAddr::new(8), w, 5, InsertPosition::Mid)
+            .unwrap();
+        assert_eq!(ev.line, LineAddr::new(0));
+        assert!(t.probe(LineAddr::new(8)).is_some());
+        assert!(t.probe(LineAddr::new(0)).is_none());
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut t = small();
+        for i in 0..4 {
+            assert!(t
+                .insert(LineAddr::new(i), i as u8, InsertPosition::Mru)
+                .is_none());
+        }
+        assert_eq!(t.valid_lines(), 4);
+        assert_eq!(t.iter_valid().count(), 4);
+    }
+
+    #[test]
+    fn tree_plru_victimizes_untouched() {
+        let geom = CacheGeometry::new(2048, 4, 128).unwrap(); // 4 sets x 4 ways
+        let mut t: TagArray<u8> = TagArray::new(geom, ReplacementPolicy::TreePlru);
+        // Fill set 0: lines 0,4,8,12.
+        for (i, l) in [0u64, 4, 8, 12].iter().enumerate() {
+            t.insert(LineAddr::new(*l), i as u8, InsertPosition::Mru);
+        }
+        // Touch 0, 8, 4: the root bit last pointed away from way1 (line 4,
+        // left subtree) and the right subtree bit away from way2 (line 8),
+        // so tree-PLRU victimizes way3 = line 12.
+        t.touch(LineAddr::new(0));
+        t.touch(LineAddr::new(8));
+        t.touch(LineAddr::new(4));
+        let ev = t.insert(LineAddr::new(16), 9, InsertPosition::Mru).unwrap();
+        assert_eq!(ev.line, LineAddr::new(12));
+    }
+
+    #[test]
+    fn random_policy_deterministic() {
+        let geom = CacheGeometry::new(1024, 2, 128).unwrap();
+        let mut a: TagArray<u8> = TagArray::new(geom, ReplacementPolicy::Random);
+        let mut b: TagArray<u8> = TagArray::new(geom, ReplacementPolicy::Random);
+        for i in 0..20 {
+            let ea = a.insert(LineAddr::new(i * 4), 0, InsertPosition::Mru);
+            let eb = b.insert(LineAddr::new(i * 4), 0, InsertPosition::Mru);
+            assert_eq!(ea.map(|e| e.line), eb.map(|e| e.line));
+        }
+    }
+
+    #[test]
+    fn victim_candidates_ordered_by_recency() {
+        let geom = CacheGeometry::new(2048, 4, 128).unwrap();
+        let mut t: TagArray<u8> = TagArray::new(geom, ReplacementPolicy::Lru);
+        for (i, l) in [0u64, 4, 8, 12].iter().enumerate() {
+            t.insert(LineAddr::new(*l), i as u8, InsertPosition::Mru);
+        }
+        t.touch(LineAddr::new(0)); // 4 becomes the coldest
+        let c = t.victim_candidates(LineAddr::new(16), 2);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[0].1, LineAddr::new(4));
+        assert_eq!(c[1].1, LineAddr::new(8));
+        // k larger than valid ways is clipped.
+        assert_eq!(t.victim_candidates(LineAddr::new(16), 99).len(), 4);
+    }
+
+    #[test]
+    fn way_memo_is_behaviour_invisible() {
+        // Mirror a random probe/touch/insert/invalidate schedule onto two
+        // arrays, one with the way-memoization fast path disabled, and
+        // demand identical probe results (way AND state), identical
+        // evictions, and identical LRU stamps throughout.
+        let geom = CacheGeometry::new(4096, 8, 128).unwrap(); // 4 sets x 8 ways
+        let mut on: TagArray<u8> = TagArray::new(geom, ReplacementPolicy::Lru);
+        let mut off: TagArray<u8> = TagArray::new(geom, ReplacementPolicy::Lru);
+        off.set_way_memo(false);
+        let mut rng = SplitMix64::new(0xDEAD_BEEF);
+        for step in 0..20_000u64 {
+            let line = LineAddr::new(rng.gen_range(64));
+            match rng.gen_range(4) {
+                0 => {
+                    let a = on.probe(line);
+                    let b = off.probe(line);
+                    assert_eq!(a, b, "probe diverged at step {step}");
+                }
+                1 => {
+                    assert_eq!(on.touch(line), off.touch(line), "touch @ {step}");
+                }
+                2 => {
+                    let st = (step & 0xFF) as u8;
+                    if on.probe(line).is_none() {
+                        let a = on.insert(line, st, InsertPosition::Mru);
+                        let b = off.insert(line, st, InsertPosition::Mru);
+                        assert_eq!(a, b, "eviction diverged at step {step}");
+                    }
+                }
+                _ => {
+                    assert_eq!(on.invalidate(line), off.invalidate(line));
+                }
+            }
+            assert_eq!(on.valid_lines(), off.valid_lines());
+        }
+        // Full-state comparison at the end: every resident line, state,
+        // and victim ordering matches.
+        let a: Vec<_> = on.iter_valid().collect();
+        let b: Vec<_> = off.iter_valid().collect();
+        assert_eq!(a, b);
+        for set_line in 0..4u64 {
+            let l = LineAddr::new(set_line);
+            assert_eq!(on.victim_candidates(l, 8), off.victim_candidates(l, 8));
+        }
+    }
+
+    #[test]
+    fn stale_hint_never_lies() {
+        // Hit a line (hint points at it), invalidate it, re-insert a
+        // *different* line into the same way, then probe the old line:
+        // the stale hint must be rejected by tag compare.
+        let mut t = small();
+        t.insert(LineAddr::new(0), 1, InsertPosition::Mru);
+        assert!(t.probe(LineAddr::new(0)).is_some());
+        let way = t.probe(LineAddr::new(0)).unwrap().0;
+        t.invalidate(LineAddr::new(0));
+        assert!(t.probe(LineAddr::new(0)).is_none());
+        t.insert_into(LineAddr::new(8), way, 2, InsertPosition::Mru);
+        assert!(t.probe(LineAddr::new(0)).is_none());
+        assert_eq!(t.probe(LineAddr::new(8)).unwrap().1, 2);
+    }
+
+    #[test]
+    fn mid_insert_sits_between() {
+        let geom = CacheGeometry::new(2048, 4, 128).unwrap();
+        let mut t: TagArray<u8> = TagArray::new(geom, ReplacementPolicy::Lru);
+        t.insert(LineAddr::new(0), 0, InsertPosition::Mru);
+        t.insert(LineAddr::new(4), 1, InsertPosition::Mru);
+        t.insert(LineAddr::new(8), 2, InsertPosition::Mru);
+        // Mid insert: should be evicted before the MRU lines but after
+        // the oldest line is gone.
+        t.insert(LineAddr::new(12), 3, InsertPosition::Mid);
+        let ev1 = t.insert(LineAddr::new(16), 4, InsertPosition::Mru).unwrap();
+        assert_eq!(ev1.line, LineAddr::new(0)); // true LRU goes first
+        let ev2 = t.insert(LineAddr::new(20), 5, InsertPosition::Mru).unwrap();
+        assert_eq!(ev2.line, LineAddr::new(12)); // mid-inserted goes next
+    }
+}

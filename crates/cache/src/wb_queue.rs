@@ -81,11 +81,13 @@ impl WriteBackQueue {
     }
 
     /// Snoop: is `line` sitting in the queue?
+    #[inline]
     pub fn contains(&self, line: LineAddr) -> bool {
         self.entries.iter().any(|e| e.line == line)
     }
 
     /// Snoop: the queued entry for `line`, if any.
+    #[inline]
     pub fn get(&self, line: LineAddr) -> Option<&WbEntry> {
         self.entries.iter().find(|e| e.line == line)
     }
@@ -97,6 +99,7 @@ impl WriteBackQueue {
 
     /// Removes a specific line (e.g. squashed by a snoop response),
     /// returning its entry.
+    #[inline]
     pub fn remove(&mut self, line: LineAddr) -> Option<WbEntry> {
         let idx = self.entries.iter().position(|e| e.line == line)?;
         self.entries.remove(idx)

@@ -17,14 +17,14 @@ proptest! {
     ) {
         let policy = [ReplacementPolicy::Lru, ReplacementPolicy::TreePlru, ReplacementPolicy::Random][policy_idx];
         let geom = CacheGeometry::new(4096, 4, 128).unwrap(); // 8 sets x 4 ways
-        let mut t: TagArray<u64> = TagArray::new(geom, policy);
+        let mut t: TagArray<u16> = TagArray::new(geom, policy);
         for &l in &lines {
             let la = LineAddr::new(l);
             if let Some((_, s)) = t.probe(la) {
-                prop_assert_eq!(*s, l * 3);
+                prop_assert_eq!(s, (l * 3) as u16);
                 t.touch(la);
             } else {
-                t.insert(la, l * 3, InsertPosition::Mru);
+                t.insert(la, (l * 3) as u16, InsertPosition::Mru);
             }
             prop_assert!(t.valid_lines() <= geom.num_lines());
             let mut seen = HashSet::new();

@@ -223,7 +223,10 @@ impl SnoopCollector {
 
     fn combine_castout(&mut self, txn: &BusTxn, responses: &[SnoopResponse]) -> CombinedResponse {
         let mut peer_copy: Option<L2Id> = None;
-        let mut snarfers: Vec<L2Id> = Vec::new();
+        // Willing snarfers as a 256-bit set over L2 index: castouts are
+        // hot enough that a per-call `Vec` (plus the sorted copy the old
+        // round-robin made) showed up in profiles.
+        let mut snarfers = [0u64; 4];
         let mut l3_hit = false;
         let mut l3_accept = false;
         let mut l3_retry = false;
@@ -235,7 +238,10 @@ impl SnoopCollector {
                         _ => id,
                     });
                 }
-                SnoopResponse::SnarfAccept(id) => snarfers.push(id),
+                SnoopResponse::SnarfAccept(id) => {
+                    let i = id.index();
+                    snarfers[i >> 6] |= 1u64 << (i & 63);
+                }
                 SnoopResponse::L3Hit(_) => l3_hit = true,
                 SnoopResponse::L3Accept => l3_accept = true,
                 SnoopResponse::L3Retry => l3_retry = true,
@@ -296,20 +302,32 @@ impl SnoopCollector {
     /// response generation has to use a fair policy for selecting the
     /// cache to receive the line in order to distribute the snarfed
     /// write back load" (§3).
-    fn pick_snarfer(&mut self, snarfers: &[L2Id]) -> Option<L2Id> {
-        if snarfers.is_empty() {
-            return None;
-        }
-        let mut sorted: Vec<L2Id> = snarfers.to_vec();
-        sorted.sort_unstable();
-        sorted.dedup();
-        let winner = sorted
-            .iter()
-            .copied()
-            .find(|id| id.index() >= self.rr_next)
-            .unwrap_or(sorted[0]);
-        self.rr_next = winner.index() + 1;
-        Some(winner)
+    ///
+    /// `snarfers` is a 256-bit set over L2 index; the winner is the
+    /// lowest member at or past the round-robin pointer, wrapping to the
+    /// lowest member overall — the same choice the old sorted-`Vec` scan
+    /// made, without the per-call allocations.
+    fn pick_snarfer(&mut self, snarfers: &[u64; 4]) -> Option<L2Id> {
+        let first_at_or_after = |from: usize| -> Option<usize> {
+            if from >= 256 {
+                return None;
+            }
+            let mut w = from >> 6;
+            let mut bits = snarfers[w] & (!0u64 << (from & 63));
+            loop {
+                if bits != 0 {
+                    return Some((w << 6) + bits.trailing_zeros() as usize);
+                }
+                w += 1;
+                if w >= snarfers.len() {
+                    return None;
+                }
+                bits = snarfers[w];
+            }
+        };
+        let winner = first_at_or_after(self.rr_next).or_else(|| first_at_or_after(0))?;
+        self.rr_next = winner + 1;
+        Some(L2Id::new(winner as u8))
     }
 
     /// Total transactions combined.

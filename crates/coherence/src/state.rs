@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use cmpsim_cache::PackedState;
+
 /// Coherence state of a line resident in an L2 cache.
 ///
 /// Only *valid* lines carry a state — invalidity is represented by the
@@ -73,6 +75,29 @@ impl L2State {
     }
 }
 
+/// Packed encoding for the L2 tag word: 3 bits, discriminant order
+/// (`S`=0, `SL`=1, `E`=2, `M`=3, `T`=4). Encodings 5–7 are unused and
+/// never produced; `from_bits` only ever sees values from `to_bits`.
+impl PackedState for L2State {
+    const BITS: u32 = 3;
+
+    #[inline]
+    fn to_bits(self) -> u64 {
+        self as u64
+    }
+
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        match bits {
+            0 => L2State::Shared,
+            1 => L2State::SharedLast,
+            2 => L2State::Exclusive,
+            3 => L2State::Modified,
+            _ => L2State::Tagged,
+        }
+    }
+}
+
 impl fmt::Display for L2State {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -100,6 +125,25 @@ impl L3State {
     /// Does eviction of this line require a memory write-back?
     pub fn is_dirty(self) -> bool {
         matches!(self, L3State::Dirty)
+    }
+}
+
+/// Packed encoding for the L3 tag word: 1 bit (`Clean`=0, `Dirty`=1).
+impl PackedState for L3State {
+    const BITS: u32 = 1;
+
+    #[inline]
+    fn to_bits(self) -> u64 {
+        self as u64
+    }
+
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        if bits == 0 {
+            L3State::Clean
+        } else {
+            L3State::Dirty
+        }
     }
 }
 
@@ -165,6 +209,28 @@ mod tests {
     fn l3_dirty() {
         assert!(L3State::Dirty.is_dirty());
         assert!(!L3State::Clean.is_dirty());
+    }
+
+    #[test]
+    fn packed_roundtrip() {
+        // Every state must survive the packed tag word's bit encoding,
+        // within its declared width.
+        for s in [
+            L2State::Shared,
+            L2State::SharedLast,
+            L2State::Exclusive,
+            L2State::Modified,
+            L2State::Tagged,
+        ] {
+            let bits = s.to_bits();
+            assert!(bits < 1 << L2State::BITS, "{s} encoding too wide");
+            assert_eq!(L2State::from_bits(bits), s);
+        }
+        for s in [L3State::Clean, L3State::Dirty] {
+            let bits = s.to_bits();
+            assert!(bits < 1 << L3State::BITS);
+            assert_eq!(L3State::from_bits(bits), s);
+        }
     }
 
     #[test]

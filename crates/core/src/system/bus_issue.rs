@@ -130,8 +130,7 @@ impl System {
                 self.spans.finish(sid, SpanOutcome::Upgraded, t_seen);
                 self.stats.upgrades += 1;
                 self.apply_invalidations(txn.src, line, None);
-                self.inbound_fills
-                    .insert((txn.src.index() as u8, line.raw()));
+                self.inbound_insert(txn.src.index() as u8, line.raw(), Self::INBOUND_FILL);
                 self.queue.push(
                     t_seen,
                     Ev::Fill {
@@ -159,12 +158,12 @@ impl System {
         let line = txn.line;
         let src_agent = AgentId::L2(txn.src);
 
-        // Reuse bookkeeping: this is a demand miss on the line. The
-        // accepted set is a subset of the pending set, so it only needs
-        // probing (and clearing) when the pending probe hits.
-        if self.wb_pending.remove(&line.raw()) {
+        // Reuse bookkeeping: this is a demand miss on the line; one map
+        // removal answers both "was a write-back pending" and "had the
+        // L3 accepted it".
+        if let Some(accepted) = self.wb_lines.remove(&line.raw()) {
             self.stats.wb_reuse.reused_total += 1;
-            if self.wb_accepted.remove(&line.raw()) {
+            if accepted {
                 self.stats.wb_reuse.reused_accepted += 1;
             }
         }
@@ -266,8 +265,7 @@ impl System {
             self.apply_invalidations(txn.src, line, skip_l3.then_some(()));
         }
 
-        self.inbound_fills
-            .insert((txn.src.index() as u8, line.raw()));
+        self.inbound_insert(txn.src.index() as u8, line.raw(), Self::INBOUND_FILL);
         let t_fill = arrival.max(t_seen);
         self.spans.mark(sid, SpanPhase::DataReturn, t_fill);
         self.spans

@@ -50,11 +50,9 @@ impl System {
                 self.stats.wb.clean_requests += 1;
             }
             self.stats.wb_reuse.total += 1;
-            // New write-back generation: clear any stale accepted mark
-            // from an earlier castout of the same line (the old encoding
-            // overwrote the map value with `false` here).
-            self.wb_pending.insert(line.raw());
-            self.wb_accepted.remove(&line.raw());
+            // New write-back generation: overwriting clears any stale
+            // accepted mark from an earlier castout of the same line.
+            self.wb_lines.insert(line.raw(), false);
             self.policy.on_castout_issued(line);
             let snarf_eligible = txn.snarf_eligible;
             self.telemetry.emit(now, || SimEvent::CastoutIssued {
@@ -164,7 +162,7 @@ impl System {
                     by: p.index() as u32,
                     line: line.raw(),
                 });
-                self.inbound_snarfs.insert((p.index() as u8, line.raw()));
+                self.inbound_insert(p.index() as u8, line.raw(), Self::INBOUND_SNARF);
                 let arrival = self.ring.transfer_data(t_seen, src_agent, AgentId::L2(p));
                 self.spans.mark(sid, SpanPhase::DataReturn, arrival);
                 self.spans.finish(sid, SpanOutcome::Snarfed, arrival);
@@ -185,8 +183,8 @@ impl System {
                             l2: i as u32,
                             line: line.raw(),
                         });
-                        if self.wb_pending.contains(&line.raw()) {
-                            self.wb_accepted.insert(line.raw());
+                        if let Some(accepted) = self.wb_lines.get_mut(&line.raw()) {
+                            *accepted = true;
                         }
                         self.stats.wb_reuse.accepted += 1;
                         if let Some(v) = victim {
@@ -231,8 +229,7 @@ impl System {
                 self.stats.wb.clean_requests += 1;
             }
             self.stats.wb_reuse.total += 1;
-            self.wb_pending.insert(line.raw());
-            self.wb_accepted.remove(&line.raw());
+            self.wb_lines.insert(line.raw(), false);
             self.telemetry.emit(now, || SimEvent::CastoutIssued {
                 l2: i as u32,
                 line: line.raw(),
@@ -281,8 +278,8 @@ impl System {
                             l2: i as u32,
                             line: line.raw(),
                         });
-                        if self.wb_pending.contains(&line.raw()) {
-                            self.wb_accepted.insert(line.raw());
+                        if let Some(accepted) = self.wb_lines.get_mut(&line.raw()) {
+                            *accepted = true;
                         }
                         self.stats.wb_reuse.accepted += 1;
                         if let Some(v) = victim {

@@ -17,7 +17,7 @@ impl System {
     pub(super) fn handle_fill(&mut self, now: Cycle, l2id: L2Id, line: LineAddr, state: L2State) {
         let i = l2id.index();
         if self.l2s[i].state_of(line).is_some() {
-            self.inbound_fills.remove(&(i as u8, line.raw()));
+            self.inbound_remove(i as u8, line.raw(), Self::INBOUND_FILL);
             // Upgrade completion, or the line arrived by other means.
             if state == L2State::Modified {
                 self.l2s[i].set_state(line, L2State::Modified);
@@ -44,7 +44,7 @@ impl System {
             );
             return;
         }
-        self.inbound_fills.remove(&(i as u8, line.raw()));
+        self.inbound_remove(i as u8, line.raw(), Self::INBOUND_FILL);
         let state = self.sanitize_install(i, line, state);
         self.trace(line, &|| format!("fill {l2id} install={state}"));
         if state == L2State::Modified {
@@ -209,7 +209,7 @@ impl System {
         dirty: bool,
     ) {
         let i = l2id.index();
-        self.inbound_snarfs.remove(&(i as u8, line.raw()));
+        self.inbound_remove(i as u8, line.raw(), Self::INBOUND_SNARF);
         if self.l2s[i].state_of(line).is_some() {
             return;
         }
@@ -220,7 +220,7 @@ impl System {
             j != i
                 && (self.l2s[j].state_of(line).is_some()
                     || self.l2s[j].wbq.contains(line)
-                    || self.inbound_fills.contains(&(j as u8, line.raw())))
+                    || self.inbound_has(j as u8, line.raw(), Self::INBOUND_FILL))
         });
         match (!peer_has_copy)
             .then(|| self.l2s[i].snarf_victim(line))

@@ -94,8 +94,7 @@ impl System {
             let peer_copies = (0..self.l2s.len()).any(|j| {
                 j != i
                     && (self.l2s[j].state_of(line).is_some()
-                        || self.inbound_fills.contains(&(j as u8, line.raw()))
-                        || self.inbound_snarfs.contains(&(j as u8, line.raw())))
+                        || self.inbound_any(j as u8, line.raw()))
             });
             let st = match (e.dirty, peer_copies) {
                 (true, false) => L2State::Modified,

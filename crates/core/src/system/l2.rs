@@ -102,7 +102,7 @@ impl L2Unit {
     #[inline]
     pub fn state_of(&self, line: LineAddr) -> Option<L2State> {
         let (s, local) = self.slice_and_local(line);
-        self.slices[s].probe(local).map(|(_, &st)| st)
+        self.slices[s].probe(local).map(|(_, st)| st)
     }
 
     /// Refreshes recency of a resident line. Returns `false` if absent.
@@ -115,13 +115,7 @@ impl L2Unit {
     /// Rewrites the state of a resident line. Returns `false` if absent.
     pub fn set_state(&mut self, line: LineAddr, st: L2State) -> bool {
         let (s, local) = self.slice_and_local(line);
-        match self.slices[s].probe_mut(local) {
-            Some((_, slot)) => {
-                *slot = st;
-                true
-            }
-            None => false,
-        }
+        self.slices[s].set_state(local, st)
     }
 
     /// Removes a line, returning its state.

@@ -102,7 +102,7 @@ impl System {
 
     /// Enables the decision-quality audit: every WBHT verdict and snarf
     /// placement registers a pending outcome record that the later
-    /// pipeline stages resolve (see [`crate::system::audit`]). Off by
+    /// pipeline stages resolve (see the `system::audit` module). Off by
     /// default — disabled runs stay byte-identical.
     pub fn enable_decision_audit(&mut self) {
         self.audit = Some(Box::new(DecisionAudit::new(&self.cfg)));

@@ -26,9 +26,7 @@ impl System {
         // retry (standard snoop behaviour for MSHR address matches).
         // Ungranted misses do NOT retry — their own bus phase is still
         // pending and will observe whatever this transaction decides.
-        if self.inbound_fills.contains(&(j as u8, line.raw()))
-            || self.inbound_snarfs.contains(&(j as u8, line.raw()))
-        {
+        if self.inbound_any(j as u8, line.raw()) {
             return SnoopResponse::L2Retry(id);
         }
         match self.l2s[j].state_of(line) {

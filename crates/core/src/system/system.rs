@@ -4,7 +4,7 @@
 
 use cmpsim_cache::LineAddr;
 use cmpsim_coherence::{L2Id, L2State, SnoopCollector, SnoopResponse, TxnId, TxnState};
-use cmpsim_engine::hash::{FxHashMap, FxHashSet};
+use cmpsim_engine::hash::FxHashMap;
 use cmpsim_engine::profiler::{now_ticks, ticks_to_ns, HostProfiler, HostStage};
 use cmpsim_engine::progress::ProgressMeter;
 use cmpsim_engine::spans::SpanTracer;
@@ -111,30 +111,33 @@ pub struct System {
     pub(super) policy: PolicyStack,
     pub(super) txn_seq: TxnId,
     pub(super) stats: SystemStats,
-    /// Lines written back and not yet re-referenced (Table 2 tracking).
-    ///
-    /// Invariant: `wb_accepted ⊆ wb_pending`. A castout's *first* bus
-    /// attempt inserts the line into `wb_pending` (and removes any stale
-    /// `wb_accepted` membership from a prior write-back generation); the
-    /// L3 accepting the data adds it to `wb_accepted`; a demand miss on
-    /// the line removes it from both, counting `reused_total` and — when
-    /// the accepted set also held it — `reused_accepted`. A single
-    /// `HashMap<u64, bool>` used to encode both sets; splitting them
-    /// makes each hot-path touch a set probe instead of an entry update.
-    pub(super) wb_pending: FxHashSet<u64>,
-    /// Subset of [`wb_pending`](Self::wb_pending) whose data the L3
-    /// accepted (vs. dropped on the floor by a WBHT-suppressed or
+    /// Lines written back and not yet re-referenced (Table 2 tracking):
+    /// key present = write-back pending, value `true` = the L3 accepted
+    /// the data (vs. dropped on the floor by a WBHT-suppressed or
     /// declined write-back).
-    pub(super) wb_accepted: FxHashSet<u64>,
+    ///
+    /// A castout's *first* bus attempt inserts the line with `false`
+    /// (overwriting any stale accepted mark from a prior write-back
+    /// generation); the L3 accepting the data flips it to `true`; a
+    /// demand miss on the line removes the entry, counting
+    /// `reused_total` and — when the value was `true` —
+    /// `reused_accepted`. The two roles share one map because every hot
+    /// path touches both together, and this set grows with the
+    /// workload's castout working set: one probe instead of two on the
+    /// coldest structure in the system.
+    pub(super) wb_lines: FxHashMap<u64, bool>,
     /// Miss issue times for the latency histogram: (l2, line) -> cycle.
     pub(super) miss_issue: FxHashMap<(u8, u64), Cycle>,
-    /// Fills granted by a combined response but not yet landed:
-    /// (l2, line). Snoops retry against these — ownership is in flight.
-    pub(super) inbound_fills: FxHashSet<(u8, u64)>,
-    /// Snarfed castouts in flight to their absorbing L2: the line is in
-    /// no tag array during the transfer, so snoops must retry against
-    /// these too (the absorber has reserved a line-fill buffer for it).
-    pub(super) inbound_snarfs: FxHashSet<(u8, u64)>,
+    /// Lines in flight to an L2, keyed (l2, line), flagged
+    /// [`INBOUND_FILL`](Self::INBOUND_FILL) for fills granted by a
+    /// combined response but not yet landed and
+    /// [`INBOUND_SNARF`](Self::INBOUND_SNARF) for snarfed castouts in
+    /// transit to their absorber (in no tag array during the transfer,
+    /// but with a line-fill buffer reserved). Snoops retry against
+    /// either kind — ownership is in flight — and that hot joint probe
+    /// ([`inbound_any`](Self::inbound_any), once per peer per snoop
+    /// fan-out) is why both kinds share one map.
+    pub(super) inbound: FxHashMap<(u8, u64), u8>,
     /// Recycled snoop-response buffer: the snoop layer takes it, fills
     /// it, and the bus layer hands it back after combining, so no bus
     /// transaction allocates a response vector.
@@ -289,11 +292,9 @@ impl System {
             policy,
             txn_seq: TxnId::ZERO,
             stats: SystemStats::new(num_l2),
-            wb_pending: FxHashSet::default(),
-            wb_accepted: FxHashSet::default(),
+            wb_lines: FxHashMap::default(),
             miss_issue: FxHashMap::default(),
-            inbound_fills: FxHashSet::default(),
-            inbound_snarfs: FxHashSet::default(),
+            inbound: FxHashMap::default(),
             snoop_scratch: Vec::new(),
             waiter_scratch: Vec::new(),
             trace_line: std::env::var("CMPSIM_TRACE_LINE")
@@ -503,5 +504,41 @@ impl System {
         if self.trace_line == Some(line.raw()) {
             eprintln!("[trace {line}] {}", msg());
         }
+    }
+
+    /// [`inbound`](Self::inbound) flag: a granted demand fill in flight.
+    pub(super) const INBOUND_FILL: u8 = 1;
+    /// [`inbound`](Self::inbound) flag: a snarfed castout in flight.
+    pub(super) const INBOUND_SNARF: u8 = 2;
+
+    /// Marks a `kind` transfer to `l2` as in flight.
+    #[inline]
+    pub(super) fn inbound_insert(&mut self, l2: u8, raw: u64, kind: u8) {
+        *self.inbound.entry((l2, raw)).or_insert(0) |= kind;
+    }
+
+    /// Clears a `kind` transfer to `l2`, dropping the entry when no
+    /// transfer of the other kind remains in flight.
+    #[inline]
+    pub(super) fn inbound_remove(&mut self, l2: u8, raw: u64, kind: u8) {
+        if let std::collections::hash_map::Entry::Occupied(mut e) = self.inbound.entry((l2, raw)) {
+            *e.get_mut() &= !kind;
+            if *e.get() == 0 {
+                e.remove();
+            }
+        }
+    }
+
+    /// Is any transfer (fill or snarf) to `l2` in flight for this line?
+    /// The snoop fan-out's joint probe — one lookup for both kinds.
+    #[inline]
+    pub(super) fn inbound_any(&self, l2: u8, raw: u64) -> bool {
+        self.inbound.contains_key(&(l2, raw))
+    }
+
+    /// Is a `kind` transfer to `l2` in flight for this line?
+    #[inline]
+    pub(super) fn inbound_has(&self, l2: u8, raw: u64, kind: u8) -> bool {
+        self.inbound.get(&(l2, raw)).is_some_and(|f| f & kind != 0)
     }
 }

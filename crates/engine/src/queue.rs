@@ -4,7 +4,8 @@
 //! simulator's access pattern (pushes cluster within a few hundred
 //! cycles of "now"): a ring of per-cycle FIFO buckets absorbs the near
 //! future at O(1) push/pop, and a far-future overflow heap catches the
-//! rare long-delay event. [`legacy::HeapEventQueue`] keeps the original
+//! rare long-delay event. `legacy::HeapEventQueue` (cfg-gated on tests
+//! and the `legacy-heap` feature) keeps the original
 //! binary-heap implementation as a differential oracle for tests.
 
 use std::collections::VecDeque;
@@ -48,7 +49,9 @@ pub struct EventQueue<T> {
     /// cycle `t` for every `t` in `[horizon - NUM_BUCKETS, horizon)`.
     /// Within a bucket, `VecDeque` push/pop order *is* FIFO order, so no
     /// per-event sequence number is stored (or allocated) on this path.
-    buckets: Vec<VecDeque<(Cycle, T)>>,
+    /// The timestamp is not stored either: inside the window a bucket
+    /// maps to exactly one cycle, so the pop cursor *is* the event time.
+    buckets: Vec<VecDeque<T>>,
     /// Events in the ring.
     ring_len: usize,
     /// Scan position: no ring event is earlier than this. Monotonic.
@@ -131,7 +134,7 @@ impl<T> EventQueue<T> {
             self.last_popped
         );
         if time < self.horizon {
-            self.buckets[(time as usize) & BUCKET_MASK].push_back((time, payload));
+            self.buckets[(time as usize) & BUCKET_MASK].push_back(payload);
             self.ring_len += 1;
         } else {
             let seq = self.seq;
@@ -158,8 +161,8 @@ impl<T> EventQueue<T> {
         // virtual-time advance, not events × window.
         loop {
             let bucket = &mut self.buckets[(self.cursor as usize) & BUCKET_MASK];
-            if let Some((t, payload)) = bucket.pop_front() {
-                debug_assert_eq!(t, self.cursor, "bucket holds a foreign cycle");
+            if let Some(payload) = bucket.pop_front() {
+                let t = self.cursor;
                 self.ring_len -= 1;
                 self.len -= 1;
                 self.last_popped = t;
@@ -184,7 +187,7 @@ impl<T> EventQueue<T> {
                 break;
             }
             let std::cmp::Reverse(e) = self.overflow.pop().expect("peeked");
-            self.buckets[(e.time as usize) & BUCKET_MASK].push_back((e.time, e.payload));
+            self.buckets[(e.time as usize) & BUCKET_MASK].push_back(e.payload);
             self.ring_len += 1;
         }
     }

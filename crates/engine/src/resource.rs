@@ -46,12 +46,14 @@ impl FifoServer {
 
     /// Reserves the server for one request arriving at `now`, using the
     /// default service time. Returns the completion time.
+    #[inline]
     pub fn reserve(&mut self, now: Cycle) -> Cycle {
         self.reserve_for(now, self.service)
     }
 
     /// Reserves the server for a request with an explicit service time.
     /// Returns the completion time.
+    #[inline]
     pub fn reserve_for(&mut self, now: Cycle, service: Cycle) -> Cycle {
         self.reserve_for_timed(now, service).1
     }
@@ -59,12 +61,14 @@ impl FifoServer {
     /// Like [`FifoServer::reserve`], but also returns the queueing delay:
     /// `(wait, completion)` where service began at `now + wait`. Used by
     /// the span tracer to split latency into queue-wait vs. service.
+    #[inline]
     pub fn reserve_timed(&mut self, now: Cycle) -> (Cycle, Cycle) {
         self.reserve_for_timed(now, self.service)
     }
 
     /// Like [`FifoServer::reserve_for`], but also returns the queueing
     /// delay as `(wait, completion)`.
+    #[inline]
     pub fn reserve_for_timed(&mut self, now: Cycle, service: Cycle) -> (Cycle, Cycle) {
         let start = self.busy_until.max(now);
         self.busy_until = start + service;
@@ -138,23 +142,27 @@ impl Channel {
 
     /// Reserves a lane for a transfer arriving at `now` with the default
     /// occupancy. Returns the completion time.
+    #[inline]
     pub fn reserve(&mut self, now: Cycle) -> Cycle {
         self.reserve_for(now, self.occupancy)
     }
 
     /// Reserves a lane with an explicit occupancy. Returns completion time.
+    #[inline]
     pub fn reserve_for(&mut self, now: Cycle, occupancy: Cycle) -> Cycle {
         self.reserve_for_timed(now, occupancy).1
     }
 
     /// Like [`Channel::reserve`], but also returns the queueing delay:
     /// `(wait, completion)` where the transfer began at `now + wait`.
+    #[inline]
     pub fn reserve_timed(&mut self, now: Cycle) -> (Cycle, Cycle) {
         self.reserve_for_timed(now, self.occupancy)
     }
 
     /// Like [`Channel::reserve_for`], but also returns the queueing delay
     /// as `(wait, completion)`.
+    #[inline]
     pub fn reserve_for_timed(&mut self, now: Cycle, occupancy: Cycle) -> (Cycle, Cycle) {
         // Earliest-free lane; ties broken by index for determinism.
         let (idx, &free) = self
@@ -251,6 +259,7 @@ impl SlotPool {
     }
 
     /// Number of slots in use at time `now`.
+    #[inline]
     pub fn in_use(&mut self, now: Cycle) -> usize {
         self.expire(now);
         self.releases.len()

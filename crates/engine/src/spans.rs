@@ -382,12 +382,14 @@ impl SpanTracer {
     }
 
     /// Whether spans are being recorded.
+    #[inline]
     pub fn is_enabled(&self) -> bool {
         self.book.is_some()
     }
 
     /// Opens a span for transaction `id` at cycle `now`. A span dropped by
     /// the sampler is counted and ignored by later `mark`/`finish` calls.
+    #[inline]
     pub fn start(&self, id: SpanId, kind: SpanKind, l2: u32, line: u64, now: Cycle) {
         if let Some(book) = &self.book {
             let mut book = book.lock().unwrap();
@@ -403,6 +405,7 @@ impl SpanTracer {
 
     /// Records a phase transition for span `id`; a no-op for unknown or
     /// sampled-out ids.
+    #[inline]
     pub fn mark(&self, id: SpanId, phase: SpanPhase, at: Cycle) {
         if let Some(book) = &self.book {
             if let Some(rec) = book.lock().unwrap().active.get_mut(&id) {
@@ -414,6 +417,7 @@ impl SpanTracer {
     /// Closes span `id` with `outcome` at cycle `at`. If `at` lies beyond
     /// the last mark, the gap is recorded as a [`SpanPhase::Resolve`]
     /// segment so the telescoping invariant survives.
+    #[inline]
     pub fn finish(&self, id: SpanId, outcome: SpanOutcome, at: Cycle) {
         if let Some(book) = &self.book {
             let mut book = book.lock().unwrap();

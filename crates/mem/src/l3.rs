@@ -198,7 +198,7 @@ impl L3Cache {
         let local = self.cfg.geometry.slice_local(line);
         let slice = self.slice_mut(line);
         match slice.tags.probe(local) {
-            Some((_, &st)) => {
+            Some((_, st)) => {
                 if slice.reads.in_use(now) >= slice.reads.capacity() {
                     self.stats.retries_issued += 1;
                     self.trace_retry(now, L3RetryReason::ReadQueueFull, line);
@@ -235,7 +235,7 @@ impl L3Cache {
             self.trace_retry(now, L3RetryReason::DataInFull, line);
             return SnoopResponse::L3Retry;
         }
-        let present = slice.tags.probe(local).map(|(_, &s)| s);
+        let present = slice.tags.probe(local).map(|(_, s)| s);
         match (present, dirty) {
             (Some(st), false) => {
                 // Clean castout, line already here: squash. The slot is
@@ -297,7 +297,7 @@ impl L3Cache {
             .saturating_sub(self.cfg.array_occupancy);
         let exclusive = self.cfg.exclusive_on_read_hit;
         let slice = self.slice_mut(line);
-        let st = *slice
+        let st = slice
             .tags
             .probe(local)
             .unwrap_or_else(|| panic!("provide_read of absent line {line}"))
@@ -367,14 +367,12 @@ impl L3Cache {
         } else {
             L3State::Clean
         };
-        let victim = match slice.tags.probe_mut(local) {
-            Some((_, st)) => {
-                // Dirty overwrite of an existing copy.
-                *st = new_state;
-                slice.tags.touch(local);
-                None
-            }
-            None => slice
+        let victim = if slice.tags.set_state(local, new_state) {
+            // Dirty overwrite of an existing copy.
+            slice.tags.touch(local);
+            None
+        } else {
+            slice
                 .tags
                 .insert(local, new_state, InsertPosition::Mru)
                 .filter(|ev| ev.state.is_dirty())
@@ -382,7 +380,7 @@ impl L3Cache {
                     // Reconstruct the victim's global line address from
                     // its slice-local address.
                     LineAddr::new((ev.line.raw() << slices_bits) | slice_idx)
-                }),
+                })
         };
         if victim.is_some() {
             self.stats.dirty_victims_to_memory += 1;

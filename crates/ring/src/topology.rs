@@ -25,6 +25,11 @@ pub struct RingTopology {
     agents: Vec<AgentId>,
     hop_cycles: Cycle,
     collector: AgentId,
+    /// Ring position by dense agent id (see [`Self::dense`]),
+    /// `u32::MAX` for agents not on the ring. Precomputed so the
+    /// per-message [`hops`](Self::hops) lookup is O(1) instead of a
+    /// linear scan of `agents`.
+    positions: Vec<u32>,
 }
 
 impl RingTopology {
@@ -45,10 +50,28 @@ impl RingTopology {
             agents.contains(&collector),
             "collector {collector} not on the ring"
         );
+        let mut positions = vec![u32::MAX; Self::DENSE_IDS];
+        for (i, &a) in agents.iter().enumerate() {
+            positions[Self::dense(a)] = i as u32;
+        }
         RingTopology {
             agents,
             hop_cycles,
             collector,
+            positions,
+        }
+    }
+
+    /// Dense index space for [`AgentId`]: the 256 possible L2s, then L3,
+    /// then Memory.
+    const DENSE_IDS: usize = 258;
+
+    #[inline]
+    fn dense(a: AgentId) -> usize {
+        match a {
+            AgentId::L2(id) => id.index(),
+            AgentId::L3 => 256,
+            AgentId::Memory => 257,
         }
     }
 
@@ -90,14 +113,17 @@ impl RingTopology {
     /// # Panics
     ///
     /// Panics if the agent is not on the ring.
+    #[inline]
     pub fn position(&self, a: AgentId) -> usize {
-        self.agents
-            .iter()
-            .position(|&x| x == a)
-            .unwrap_or_else(|| panic!("agent {a} not on ring"))
+        let p = self.positions[Self::dense(a)];
+        if p == u32::MAX {
+            panic!("agent {a} not on ring");
+        }
+        p as usize
     }
 
     /// Shortest-direction hop count between two agents.
+    #[inline]
     pub fn hops(&self, a: AgentId, b: AgentId) -> u64 {
         let n = self.agents.len();
         let pa = self.position(a);
@@ -107,6 +133,7 @@ impl RingTopology {
     }
 
     /// Propagation latency (in core cycles) between two agents.
+    #[inline]
     pub fn prop(&self, a: AgentId, b: AgentId) -> Cycle {
         self.hops(a, b) * self.hop_cycles
     }

@@ -4,8 +4,12 @@
 #   scripts/bench.sh             measure and print the suite as JSON
 #   scripts/bench.sh --check     regression gate: fail when any entry is
 #                                >20% below the post_cycles_per_sec
-#                                committed in BENCH_PR5.json
-#   scripts/bench.sh --update    re-measure and rewrite BENCH_PR5.json,
+#                                committed in BENCH_PR10.json, or when a
+#                                full-scale entry's recorded pre->post
+#                                speedup is below 1.10x (entries with a
+#                                recorded pre of 0 skip that floor with
+#                                a note — unmeasured baselines)
+#   scripts/bench.sh --update    re-measure and rewrite BENCH_PR10.json,
 #                                keeping the recorded pre-PR baselines
 #   scripts/bench.sh --audit-overhead
 #                                decision-audit overhead gate: fail when
@@ -31,7 +35,7 @@ BIN=./target/release/bench_throughput
 
 case "${1:-}" in
     --check)
-        exec "$BIN" --check BENCH_PR5.json
+        exec "$BIN" --check BENCH_PR10.json
         ;;
     --audit-overhead)
         exec "$BIN" --audit-overhead-check
@@ -39,10 +43,10 @@ case "${1:-}" in
     --update)
         tmp=$(mktemp)
         trap 'rm -f "$tmp"' EXIT
-        "$BIN" --emit BENCH_PR5.json > "$tmp"
-        mv "$tmp" BENCH_PR5.json
+        "$BIN" --emit BENCH_PR10.json > "$tmp"
+        mv "$tmp" BENCH_PR10.json
         trap - EXIT
-        echo "bench: BENCH_PR5.json updated (pre_* baselines carried over)" >&2
+        echo "bench: BENCH_PR10.json updated (pre_* baselines carried over)" >&2
         ;;
     --shard-check)
         exec "$BIN" --shard-bench --check BENCH_PR9.json

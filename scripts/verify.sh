@@ -52,7 +52,8 @@ cargo bench -p cmpsim-bench --features bench --no-run --quiet
 
 echo "==> throughput regression gate (scripts/bench.sh --check)"
 # Fails when any pinned suite entry falls >20% below the cycles/sec
-# committed in BENCH_PR5.json. CMPSIM_BENCH_NO_GATE=1 demotes to a
+# committed in BENCH_PR10.json, or when a full-scale entry's recorded
+# pre->post speedup is under 1.10x. CMPSIM_BENCH_NO_GATE=1 demotes to a
 # warning on machines the committed numbers don't represent.
 ./scripts/bench.sh --check
 
@@ -105,6 +106,28 @@ echo "==> single-run sharding throughput gate (scripts/bench.sh --shard-check)"
 # BENCH_PR9.json, plus a 1.5x single-run speedup floor on >=8-core
 # hosts. CMPSIM_BENCH_NO_GATE=1 demotes to a warning.
 ./scripts/bench.sh --shard-check
+
+echo "==> packed tag-array static layout assertions"
+# The packed word must stay exactly 8 bytes (the whole point of the
+# backend); the randomized mirror suite cross-checks packed vs generic
+# behavior in the same binary.
+cargo test -q -p cmpsim-cache --test mirror >/dev/null
+
+echo "==> legacy-tags differential oracle smoke (generic vs packed build)"
+# A whole-build diff: the simulator compiled on the generic tag-array
+# backend must emit byte-identical JSON to the default packed build.
+# Separate target-dir so the feature flip doesn't thrash the main cache.
+cargo build --release --features legacy-tags --bin cmpsim \
+    --target-dir target/legacy-tags --quiet
+legacy_ref=$(mktemp)
+./target/release/cmpsim --policy combined --refs 2000 --seed 42 --json > "$legacy_ref"
+if ! ./target/legacy-tags/release/cmpsim --policy combined --refs 2000 --seed 42 --json \
+    | diff -q - "$legacy_ref" >/dev/null; then
+    rm -f "$legacy_ref"
+    echo "verify: FAILED — legacy-tags (generic) build diverged from the packed build" >&2
+    exit 1
+fi
+rm -f "$legacy_ref"
 
 echo "==> policy face-off harness gate (exp_policy_faceoff --check)"
 # Every contender must complete, the new policies must populate their
